@@ -1,0 +1,91 @@
+//! Guarantee-free heuristic baselines.
+//!
+//! The paper's related-work section contrasts RIS methods with "ad-hoc
+//! heuristics without performance guarantees" — the two classics are
+//! seeding by out-degree and seeding at random. They are included both as
+//! evaluation floors (any algorithm with a guarantee must beat random,
+//! and usually beats degree) and because they are the natural "no
+//! algorithm" answer a practitioner would reach for.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use sns_graph::{Graph, NodeId};
+
+/// The `k` nodes of highest out-degree (ties broken toward smaller ids,
+/// deterministically).
+pub fn top_degree_seeds(graph: &Graph, k: usize) -> Vec<NodeId> {
+    let k = k.min(graph.num_nodes() as usize);
+    let mut nodes: Vec<NodeId> = (0..graph.num_nodes()).collect();
+    nodes.sort_unstable_by_key(|&v| (std::cmp::Reverse(graph.out_degree(v)), v));
+    nodes.truncate(k);
+    nodes
+}
+
+/// `k` uniformly random distinct nodes (deterministic in `seed`).
+pub fn random_seeds(graph: &Graph, k: usize, seed: u64) -> Vec<NodeId> {
+    let k = k.min(graph.num_nodes() as usize);
+    let mut nodes: Vec<NodeId> = (0..graph.num_nodes()).collect();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    nodes.shuffle(&mut rng);
+    nodes.truncate(k);
+    nodes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sns_core::{Params, SamplingContext};
+    use sns_diffusion::{Model, SpreadEstimator};
+    use sns_graph::{gen, GraphBuilder, WeightModel};
+
+    #[test]
+    fn top_degree_finds_hubs() {
+        let mut b = GraphBuilder::new();
+        for v in 1..10 {
+            b.add_arc(0, v);
+        }
+        b.add_arc(5, 6);
+        b.add_arc(5, 7);
+        let g = b.build(WeightModel::WeightedCascade).unwrap();
+        assert_eq!(top_degree_seeds(&g, 2), vec![0, 5]);
+        assert_eq!(top_degree_seeds(&g, 100).len(), 10);
+    }
+
+    #[test]
+    fn random_seeds_distinct_and_deterministic() {
+        let g = gen::erdos_renyi(100, 500, 1).build(WeightModel::WeightedCascade).unwrap();
+        let a = random_seeds(&g, 10, 7);
+        let b = random_seeds(&g, 10, 7);
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 10);
+        assert_ne!(a, random_seeds(&g, 10, 8));
+    }
+
+    /// The guarantee hierarchy the paper assumes implicitly:
+    /// D-SSA ≥ top-degree ≥ random in spread on skewed graphs.
+    #[test]
+    fn guarantee_beats_heuristics() {
+        let g = gen::rmat(2000, 12_000, gen::RmatParams::GRAPH500, 4)
+            .build(WeightModel::WeightedCascade)
+            .unwrap();
+        let k = 20;
+        let ctx = SamplingContext::new(&g, Model::IndependentCascade).with_seed(2);
+        let dssa = sns_core::Dssa::new(Params::new(k, 0.2, 0.05).unwrap()).run(&ctx).unwrap();
+        let est = SpreadEstimator::new(&g, Model::IndependentCascade);
+        let s_dssa = est.estimate(&dssa.seeds, 10_000, 3);
+        let s_degree = est.estimate(&top_degree_seeds(&g, k), 10_000, 3);
+        let s_random = est.estimate(&random_seeds(&g, k, 9), 10_000, 3);
+        assert!(
+            s_dssa >= s_degree * 0.98,
+            "D-SSA {s_dssa:.1} should not lose to degree {s_degree:.1}"
+        );
+        assert!(
+            s_degree > s_random,
+            "degree {s_degree:.1} should beat random {s_random:.1} on a skewed graph"
+        );
+    }
+}

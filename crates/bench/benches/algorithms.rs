@@ -1,0 +1,35 @@
+//! End-to-end algorithm comparison on one fixed network — the
+//! micro-scale version of Figures 4–5.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sns_bench::algorithms::Algo;
+use sns_core::{Params, SamplingContext};
+use sns_diffusion::Model;
+use sns_graph::{gen, WeightModel};
+
+fn bench_algorithms(c: &mut Criterion) {
+    let g = gen::rmat(5_000, 30_000, gen::RmatParams::GRAPH500, 11)
+        .build(WeightModel::WeightedCascade)
+        .unwrap();
+    let params = Params::new(50, 0.2, 1.0 / 5000.0).unwrap();
+
+    let mut group = c.benchmark_group("im_algorithms_k50");
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.sample_size(10);
+    for model in [Model::LinearThreshold, Model::IndependentCascade] {
+        let ctx = SamplingContext::new(&g, model).with_seed(5);
+        for algo in [Algo::Dssa, Algo::Ssa, Algo::Imm, Algo::TimPlus] {
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), model.short_name()),
+                &ctx,
+                |b, ctx| b.iter(|| algo.run(ctx, params, 0).seeds.len()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

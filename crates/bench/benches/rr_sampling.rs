@@ -1,0 +1,61 @@
+//! RR-set generation throughput — the dominant cost of every RIS
+//! algorithm (IC reverse BFS vs LT reverse walk, by graph family).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sns_diffusion::{Model, RrSampler};
+use sns_graph::{gen, Graph, WeightModel};
+
+fn graphs() -> Vec<(&'static str, Graph)> {
+    vec![
+        (
+            "rmat-10k",
+            gen::rmat(10_000, 60_000, gen::RmatParams::GRAPH500, 7)
+                .build(WeightModel::WeightedCascade)
+                .unwrap(),
+        ),
+        (
+            "er-10k",
+            gen::erdos_renyi(10_000, 60_000, 7).build(WeightModel::WeightedCascade).unwrap(),
+        ),
+        (
+            "ba-10k",
+            gen::barabasi_albert(10_000, 6, gen::Orientation::RandomSingle, 7)
+                .build(WeightModel::WeightedCascade)
+                .unwrap(),
+        ),
+    ]
+}
+
+fn bench_rr_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rr_sampling_1k_sets");
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.sample_size(20);
+    for (name, g) in graphs() {
+        for model in [Model::LinearThreshold, Model::IndependentCascade] {
+            group.bench_with_input(
+                BenchmarkId::new(model.short_name(), name),
+                &g,
+                |b, g| {
+                    let mut sampler = RrSampler::new(g, model);
+                    let mut rr = Vec::new();
+                    let mut index = 0u64;
+                    b.iter(|| {
+                        let mut total = 0usize;
+                        for _ in 0..1000 {
+                            sampler.sample(index, &mut rr);
+                            index += 1;
+                            total += rr.len();
+                        }
+                        total
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rr_sampling);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Forward Monte Carlo spread estimation — the oracle CELF++ pays for on
+//! every queue update, and the measurement backend of Figures 2–3.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sns_diffusion::{Model, SpreadEstimator};
+use sns_graph::{gen, WeightModel};
+
+fn bench_spread(c: &mut Criterion) {
+    let g = gen::rmat(10_000, 60_000, gen::RmatParams::GRAPH500, 13)
+        .build(WeightModel::WeightedCascade)
+        .unwrap();
+    let seeds: Vec<u32> = (0..10).collect();
+
+    let mut group = c.benchmark_group("spread_1k_sims_k10");
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.sample_size(10);
+    for model in [Model::LinearThreshold, Model::IndependentCascade] {
+        group.bench_with_input(
+            BenchmarkId::new("seq", model.short_name()),
+            &model,
+            |b, &m| {
+                let est = SpreadEstimator::new(&g, m).with_threads(1);
+                b.iter(|| est.estimate(&seeds, 1000, 7))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("par", model.short_name()),
+            &model,
+            |b, &m| {
+                let est = SpreadEstimator::new(&g, m);
+                b.iter(|| est.estimate(&seeds, 1000, 7))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spread);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Uniform dispatch over every algorithm the paper compares.
+
+use sns_baselines::{CelfPlusPlus, Imm, Tim};
+use sns_core::{Dssa, Params, RunResult, SamplingContext, Ssa};
+
+/// The algorithms of §7.1, in the paper's plotting order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algo {
+    /// D-SSA (this paper).
+    Dssa,
+    /// SSA (this paper).
+    Ssa,
+    /// IMM (Tang et al., SIGMOD'15).
+    Imm,
+    /// TIM+ (Tang et al., SIGMOD'14).
+    TimPlus,
+    /// TIM (Tang et al., SIGMOD'14).
+    Tim,
+    /// CELF++ (Goyal et al., WWW'11) — simulation greedy; only feasible
+    /// on small inputs, exactly as in the paper.
+    CelfPlusPlus,
+}
+
+impl Algo {
+    /// Display name matching the paper's legends.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algo::Dssa => "D-SSA",
+            Algo::Ssa => "SSA",
+            Algo::Imm => "IMM",
+            Algo::TimPlus => "TIM+",
+            Algo::Tim => "TIM",
+            Algo::CelfPlusPlus => "CELF++",
+        }
+    }
+
+    /// The RIS algorithm line-up of the figure grids.
+    pub const RIS_LINEUP: [Algo; 5] = [Algo::Dssa, Algo::Ssa, Algo::Imm, Algo::TimPlus, Algo::Tim];
+
+    /// The Table 3 line-up.
+    pub const TABLE3_LINEUP: [Algo; 3] = [Algo::Dssa, Algo::Ssa, Algo::Imm];
+
+    /// Runs the algorithm under `params` on `ctx`.
+    ///
+    /// `celf_simulations` configures the Monte Carlo oracle of CELF++
+    /// (ignored by RIS algorithms).
+    pub fn run(
+        &self,
+        ctx: &SamplingContext<'_>,
+        params: Params,
+        celf_simulations: u64,
+    ) -> RunResult {
+        match self {
+            Algo::Dssa => Dssa::new(params).run(ctx),
+            Algo::Ssa => Ssa::new(params).run(ctx),
+            Algo::Imm => Imm::new(params).run(ctx),
+            Algo::TimPlus => Tim::plus(params).run(ctx),
+            Algo::Tim => Tim::new(params).run(ctx),
+            Algo::CelfPlusPlus => {
+                CelfPlusPlus::new(params.k).with_simulations(celf_simulations).run(ctx)
+            }
+        }
+        .expect("algorithm run failed on validated inputs")
+    }
+}
+
+impl std::fmt::Display for Algo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sns_diffusion::Model;
+    use sns_graph::{gen, WeightModel};
+
+    #[test]
+    fn lineups_and_names() {
+        assert_eq!(Algo::RIS_LINEUP.len(), 5);
+        assert_eq!(Algo::TABLE3_LINEUP[0].name(), "D-SSA");
+        assert_eq!(Algo::CelfPlusPlus.to_string(), "CELF++");
+    }
+
+    #[test]
+    fn dispatch_runs_everything() {
+        let g = gen::erdos_renyi(80, 400, 2).build(WeightModel::WeightedCascade).unwrap();
+        let ctx = SamplingContext::new(&g, Model::IndependentCascade).with_seed(1);
+        let params = Params::new(2, 0.3, 0.2).unwrap();
+        for algo in [Algo::Dssa, Algo::Ssa, Algo::Imm, Algo::TimPlus, Algo::Tim, Algo::CelfPlusPlus]
+        {
+            let r = algo.run(&ctx, params, 100);
+            assert_eq!(r.seeds.len(), 2, "{algo}");
+        }
+    }
+}

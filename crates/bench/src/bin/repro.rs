@@ -1,0 +1,25 @@
+//! `repro` — regenerate the Stop-and-Stare paper's tables and figures.
+//!
+//! ```text
+//! repro table2                 # Table 2
+//! repro fig2 --quick           # Figure 2 (LT influence), quick mode
+//! repro figures --model IC     # Figures 3/5/7 in one grid run
+//! repro table3                 # Table 3
+//! repro fig8                   # Figure 8 (TVM)
+//! repro all --quick            # everything
+//! ```
+
+use sns_bench::config::{usage, Config};
+use sns_bench::experiments;
+
+fn main() {
+    let args = std::env::args().skip(1);
+    match Config::from_args(args) {
+        Ok(cfg) => experiments::run(&cfg),
+        Err(e) => {
+            eprintln!("{e}");
+            eprintln!("{}", usage());
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Harness configuration and command-line parsing (std-only, no external
+//! CLI crates).
+
+use sns_diffusion::Model;
+
+/// Which experiment to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Experiment {
+    /// Table 2: dataset statistics.
+    Table2,
+    /// Figures 2/3: expected influence vs k.
+    FigInfluence,
+    /// Figures 4/5: running time vs k.
+    FigRuntime,
+    /// Figures 6/7: memory vs k.
+    FigMemory,
+    /// One grid run printing influence + runtime + memory together.
+    Figures,
+    /// Table 3: running time and #RR sets on Enron/Epinions/Orkut/Friendster.
+    Table3,
+    /// Table 4: TVM topics.
+    Table4,
+    /// Figure 8: TVM running time.
+    Fig8,
+    /// The §1 CELF++-vs-D-SSA speedup anecdote.
+    CelfAnecdote,
+    /// The §3 theory table: prior thresholds vs realized sample counts.
+    Thresholds,
+    /// Everything.
+    All,
+}
+
+/// Parsed harness configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Selected experiment.
+    pub experiment: Experiment,
+    /// Diffusion model for the figure grids (Figures 2/4/6 use LT,
+    /// 3/5/7 use IC).
+    pub model: Model,
+    /// Quick mode: smaller grids, smaller stand-ins, fewer simulations.
+    pub quick: bool,
+    /// Extra scale multiplier applied on top of each dataset's default.
+    pub scale: f64,
+    /// Master seed for dataset generation and all algorithms.
+    pub seed: u64,
+    /// Worker threads for RR-pool growth and spread estimation.
+    pub threads: usize,
+    /// Monte Carlo simulations per spread estimate (Figures 2–3).
+    pub simulations: u64,
+    /// Approximation accuracy ε (paper: 0.1).
+    pub epsilon: f64,
+    /// Directory for CSV output.
+    pub out_dir: String,
+}
+
+impl Config {
+    /// Default configuration for an experiment.
+    pub fn new(experiment: Experiment) -> Self {
+        let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+        Config {
+            experiment,
+            model: Model::LinearThreshold,
+            quick: false,
+            scale: 1.0,
+            seed: 42,
+            threads,
+            simulations: 10_000,
+            epsilon: 0.1,
+            out_dir: "results".to_string(),
+        }
+    }
+
+    /// Parses command-line arguments (first positional = experiment).
+    pub fn from_args<I: Iterator<Item = String>>(mut args: I) -> Result<Self, String> {
+        let sub = args.next().ok_or_else(usage)?;
+        let experiment = match sub.as_str() {
+            "table2" => Experiment::Table2,
+            "fig2" | "fig3" => Experiment::FigInfluence,
+            "fig4" | "fig5" => Experiment::FigRuntime,
+            "fig6" | "fig7" => Experiment::FigMemory,
+            "figures" => Experiment::Figures,
+            "table3" => Experiment::Table3,
+            "table4" => Experiment::Table4,
+            "fig8" => Experiment::Fig8,
+            "celf-anecdote" => Experiment::CelfAnecdote,
+            "thresholds" => Experiment::Thresholds,
+            "all" => Experiment::All,
+            other => return Err(format!("unknown experiment {other:?}\n{}", usage())),
+        };
+        let mut cfg = Config::new(experiment);
+        // Even-numbered paper figures are LT, odd are IC.
+        cfg.model = match sub.as_str() {
+            "fig3" | "fig5" | "fig7" => Model::IndependentCascade,
+            _ => Model::LinearThreshold,
+        };
+        while let Some(flag) = args.next() {
+            let mut value_for = |flag: &str| {
+                args.next().ok_or_else(|| format!("flag {flag} needs a value"))
+            };
+            match flag.as_str() {
+                "--quick" => {
+                    cfg.quick = true;
+                    cfg.simulations = 1000;
+                }
+                "--model" => {
+                    cfg.model = match value_for("--model")?.to_ascii_uppercase().as_str() {
+                        "LT" => Model::LinearThreshold,
+                        "IC" => Model::IndependentCascade,
+                        other => return Err(format!("unknown model {other:?} (use LT or IC)")),
+                    };
+                }
+                "--scale" => {
+                    cfg.scale = value_for("--scale")?
+                        .parse()
+                        .map_err(|e| format!("--scale: {e}"))?;
+                    if !(cfg.scale > 0.0 && cfg.scale <= 1.0) {
+                        return Err("--scale must be in (0, 1]".into());
+                    }
+                }
+                "--seed" => {
+                    cfg.seed = value_for("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
+                }
+                "--threads" => {
+                    cfg.threads = value_for("--threads")?
+                        .parse()
+                        .map_err(|e| format!("--threads: {e}"))?;
+                    cfg.threads = cfg.threads.max(1);
+                }
+                "--sims" => {
+                    cfg.simulations =
+                        value_for("--sims")?.parse().map_err(|e| format!("--sims: {e}"))?;
+                }
+                "--epsilon" => {
+                    cfg.epsilon =
+                        value_for("--epsilon")?.parse().map_err(|e| format!("--epsilon: {e}"))?;
+                }
+                "--out" => cfg.out_dir = value_for("--out")?,
+                other => return Err(format!("unknown flag {other:?}\n{}", usage())),
+            }
+        }
+        Ok(cfg)
+    }
+}
+
+/// Usage text.
+pub fn usage() -> String {
+    "usage: repro <table2|fig2|fig3|fig4|fig5|fig6|fig7|figures|table3|table4|fig8|celf-anecdote|thresholds|all> \
+     [--quick] [--model LT|IC] [--scale X] [--seed N] [--threads N] [--sims N] [--epsilon E] [--out DIR]"
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Config, String> {
+        Config::from_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_experiments_and_models() {
+        assert_eq!(parse(&["table2"]).unwrap().experiment, Experiment::Table2);
+        let c = parse(&["fig3"]).unwrap();
+        assert_eq!(c.experiment, Experiment::FigInfluence);
+        assert_eq!(c.model, Model::IndependentCascade);
+        let c = parse(&["fig2"]).unwrap();
+        assert_eq!(c.model, Model::LinearThreshold);
+        let c = parse(&["figures", "--model", "IC"]).unwrap();
+        assert_eq!(c.model, Model::IndependentCascade);
+    }
+
+    #[test]
+    fn parses_flags() {
+        let c = parse(&["table3", "--quick", "--seed", "7", "--threads", "2", "--scale", "0.5"])
+            .unwrap();
+        assert!(c.quick);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.threads, 2);
+        assert_eq!(c.scale, 0.5);
+        assert_eq!(c.simulations, 1000);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["nope"]).is_err());
+        assert!(parse(&["fig2", "--model", "XY"]).is_err());
+        assert!(parse(&["fig2", "--scale", "2.0"]).is_err());
+        assert!(parse(&["fig2", "--scale"]).is_err());
+        assert!(parse(&["fig2", "--wat"]).is_err());
+    }
+}

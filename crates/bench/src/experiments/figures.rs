@@ -1,0 +1,137 @@
+//! Figures 2–7 — the (dataset × k × algorithm) grid.
+//!
+//! One grid run produces all three metric families the paper plots:
+//! expected influence (Figs. 2–3), running time (Figs. 4–5) and memory
+//! (Figs. 6–7). The LT/IC split is the `--model` flag (even-numbered
+//! figures are LT, odd are IC).
+
+use sns_core::{Params, SamplingContext};
+use sns_diffusion::SpreadEstimator;
+
+use crate::algorithms::Algo;
+use crate::config::Config;
+use crate::datasets::{figure_grid, k_grid, PreparedDataset};
+use crate::report::{fmt_mb, fmt_secs, Table};
+
+/// Which metric(s) to print from the grid run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FigureMetric {
+    /// Figures 2–3: expected influence of the returned seed set,
+    /// measured by forward Monte Carlo simulation.
+    Influence,
+    /// Figures 4–5: wall-clock running time.
+    Runtime,
+    /// Figures 6–7: peak RR-pool memory.
+    Memory,
+}
+
+impl FigureMetric {
+    fn figure_name(&self, cfg: &Config) -> String {
+        use sns_diffusion::Model;
+        let lt = cfg.model == Model::LinearThreshold;
+        match self {
+            FigureMetric::Influence => {
+                format!("Fig {} : Expected Influence under {}", if lt { 2 } else { 3 }, cfg.model)
+            }
+            FigureMetric::Runtime => {
+                format!("Fig {} : Running time under {}", if lt { 4 } else { 5 }, cfg.model)
+            }
+            FigureMetric::Memory => {
+                format!("Fig {} : Memory usage under {}", if lt { 6 } else { 7 }, cfg.model)
+            }
+        }
+    }
+}
+
+struct Cell {
+    k: usize,
+    values: Vec<(FigureMetric, String)>,
+}
+
+/// Runs the grid and emits one table per (dataset, metric).
+pub fn run_figures(cfg: &Config, metrics: &[FigureMetric]) {
+    let want_influence = metrics.contains(&FigureMetric::Influence);
+    for dataset in figure_grid(cfg) {
+        let ks = k_grid(cfg, dataset.graph.num_nodes());
+        let mut per_algo: Vec<(Algo, Vec<Cell>)> = Vec::new();
+        for algo in Algo::RIS_LINEUP {
+            let mut cells = Vec::new();
+            for &k in &ks {
+                let cell = run_cell(cfg, &dataset, algo, k, want_influence, metrics);
+                cells.push(cell);
+            }
+            per_algo.push((algo, cells));
+        }
+        for &metric in metrics {
+            emit_metric_table(cfg, &dataset, metric, &ks, &per_algo);
+        }
+    }
+}
+
+fn run_cell(
+    cfg: &Config,
+    dataset: &PreparedDataset,
+    algo: Algo,
+    k: usize,
+    want_influence: bool,
+    metrics: &[FigureMetric],
+) -> Cell {
+    let n = dataset.graph.num_nodes();
+    let params = Params::with_paper_delta(k, cfg.epsilon, u64::from(n))
+        .expect("harness parameters are valid");
+    let ctx = SamplingContext::new(&dataset.graph, cfg.model)
+        .with_seed(cfg.seed)
+        .with_threads(cfg.threads);
+    eprintln!("[figures] {} {} k={k} ...", dataset.label(), algo);
+    let result = algo.run(&ctx, params, cfg.simulations);
+
+    let mut values = Vec::new();
+    for &metric in metrics {
+        let rendered = match metric {
+            FigureMetric::Influence => {
+                if want_influence {
+                    let spread = SpreadEstimator::new(&dataset.graph, cfg.model)
+                        .with_threads(cfg.threads)
+                        .estimate(&result.seeds, cfg.simulations, cfg.seed ^ 0x5EED);
+                    format!("{spread:.0}")
+                } else {
+                    String::new()
+                }
+            }
+            FigureMetric::Runtime => fmt_secs(result.wall_time.as_secs_f64()),
+            FigureMetric::Memory => fmt_mb(result.peak_pool_bytes),
+        };
+        values.push((metric, rendered));
+    }
+    Cell { k, values }
+}
+
+fn emit_metric_table(
+    cfg: &Config,
+    dataset: &PreparedDataset,
+    metric: FigureMetric,
+    ks: &[usize],
+    per_algo: &[(Algo, Vec<Cell>)],
+) {
+    let title = format!("{} : {}", metric.figure_name(cfg), dataset.label());
+    let mut header: Vec<String> = vec!["k".to_string()];
+    header.extend(per_algo.iter().map(|(a, _)| a.name().to_string()));
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new(title, &header_refs);
+    for (row_idx, &k) in ks.iter().enumerate() {
+        let mut row = vec![k.to_string()];
+        for (_, cells) in per_algo {
+            let cell = &cells[row_idx];
+            debug_assert_eq!(cell.k, k);
+            let value = cell
+                .values
+                .iter()
+                .find(|(m, _)| *m == metric)
+                .map(|(_, v)| v.clone())
+                .unwrap_or_default();
+            row.push(value);
+        }
+        table.push_row(row);
+    }
+    table.emit(&cfg.out_dir);
+}

@@ -1,0 +1,52 @@
+//! Table 3 — running time and number of RR sets for D-SSA / SSA / IMM on
+//! Enron, Epinions, Orkut and Friendster under LT, k ∈ {1, 500, 1000}.
+
+use sns_core::{Params, SamplingContext};
+use sns_diffusion::Model;
+
+use crate::algorithms::Algo;
+use crate::config::Config;
+use crate::datasets::table3_datasets;
+use crate::report::{fmt_count, fmt_secs, Table};
+
+/// Prints Table 3 (two blocks: running time, then #RR sets), matching
+/// the paper's layout `k ∈ {1, 500, 1000} × {D-SSA, SSA, IMM}`.
+pub fn run_table3(cfg: &Config) {
+    let ks: &[usize] = if cfg.quick { &[1, 500] } else { &[1, 500, 1000] };
+    let algos = Algo::TABLE3_LINEUP;
+
+    let mut header: Vec<String> = vec!["Data".into()];
+    for &k in ks {
+        for algo in algos {
+            header.push(format!("{algo} k={k}"));
+        }
+    }
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut time_table =
+        Table::new("Table 3a: running time under LT model", &header_refs);
+    let mut sets_table =
+        Table::new("Table 3b: number of RR sets under LT model", &header_refs);
+
+    for dataset in table3_datasets(cfg) {
+        let n = dataset.graph.num_nodes();
+        let mut time_row = vec![dataset.label()];
+        let mut sets_row = vec![dataset.label()];
+        for &k in ks {
+            let params = Params::with_paper_delta(k.min(n as usize - 1), cfg.epsilon, u64::from(n))
+                .expect("harness parameters are valid");
+            let ctx = SamplingContext::new(&dataset.graph, Model::LinearThreshold)
+                .with_seed(cfg.seed)
+                .with_threads(cfg.threads);
+            for algo in algos {
+                eprintln!("[table3] {} {} k={k} ...", dataset.label(), algo);
+                let r = algo.run(&ctx, params, cfg.simulations);
+                time_row.push(fmt_secs(r.wall_time.as_secs_f64()));
+                sets_row.push(fmt_count(r.rr_sets_total()));
+            }
+        }
+        time_table.push_row(time_row);
+        sets_table.push_row(sets_row);
+    }
+    time_table.emit(&cfg.out_dir);
+    sets_table.emit(&cfg.out_dir);
+}

@@ -1,0 +1,193 @@
+//! Table rendering and CSV output.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+/// A rectangular results table: header row plus data rows, printed
+/// aligned to stdout and mirrored to CSV.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table title (also the CSV file stem).
+    pub title: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header width).
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.header.len(), "row width mismatch in {}", self.title);
+        self.rows.push(row);
+    }
+
+    /// Renders the aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:>width$}", cell, width = widths[i]));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        let rule_len = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        out.push_str(&"-".repeat(rule_len));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Prints to stdout and writes `<out_dir>/<slug>.csv`.
+    pub fn emit(&self, out_dir: &str) {
+        println!("{}", self.render());
+        if let Err(e) = self.write_csv(out_dir) {
+            eprintln!("warning: could not write CSV for {}: {e}", self.title);
+        }
+    }
+
+    /// Writes the CSV mirror; the file name is the slugified title.
+    pub fn write_csv(&self, out_dir: &str) -> std::io::Result<()> {
+        fs::create_dir_all(out_dir)?;
+        let slug: String = self
+            .title
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+            .collect();
+        let path = Path::new(out_dir).join(format!("{slug}.csv"));
+        let mut f = fs::File::create(path)?;
+        writeln!(f, "{}", csv_row(&self.header))?;
+        for row in &self.rows {
+            writeln!(f, "{}", csv_row(row))?;
+        }
+        Ok(())
+    }
+}
+
+fn csv_row(cells: &[String]) -> String {
+    cells
+        .iter()
+        .map(|c| {
+            if c.contains(',') || c.contains('"') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.clone()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Formats seconds compactly (`ms` below 1s, two decimals up to 100s,
+/// integer seconds beyond, hours past 3600).
+pub fn fmt_secs(secs: f64) -> String {
+    if secs < 1.0 {
+        format!("{:.0} ms", secs * 1e3)
+    } else if secs < 100.0 {
+        format!("{secs:.2} s")
+    } else if secs < 3600.0 {
+        format!("{secs:.0} s")
+    } else {
+        format!("{:.2} h", secs / 3600.0)
+    }
+}
+
+/// Formats a count with K/M/G suffixes, like the paper's Table 3.
+pub fn fmt_count(x: u64) -> String {
+    let xf = x as f64;
+    if xf >= 1e9 {
+        format!("{:.1} G", xf / 1e9)
+    } else if xf >= 1e6 {
+        format!("{:.1} M", xf / 1e6)
+    } else if xf >= 1e3 {
+        format!("{:.0} K", xf / 1e3)
+    } else {
+        format!("{x}")
+    }
+}
+
+/// Formats bytes as MB (the Figures 6–7 axis).
+pub fn fmt_mb(bytes: u64) -> String {
+    format!("{:.1} MB", bytes as f64 / (1024.0 * 1024.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("Demo", &["a", "long-header"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        t.push_row(vec!["100".into(), "x".into()]);
+        let s = t.render();
+        assert!(s.contains("== Demo =="));
+        assert!(s.contains("long-header"));
+        let lines: Vec<&str> = s.lines().collect();
+        // header + rule + 2 rows + title
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new("Demo", &["a"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn csv_escaping() {
+        assert_eq!(csv_row(&["a,b".to_string(), "c\"d".to_string()]), "\"a,b\",\"c\"\"d\"");
+        assert_eq!(csv_row(&["plain".to_string()]), "plain");
+    }
+
+    #[test]
+    fn csv_file_written() {
+        let dir = std::env::temp_dir().join("sns_bench_csv_test");
+        let dir = dir.to_str().unwrap();
+        let mut t = Table::new("Fig 9 (test)", &["x"]);
+        t.push_row(vec!["1".into()]);
+        t.write_csv(dir).unwrap();
+        let content = std::fs::read_to_string(format!("{dir}/fig_9__test_.csv")).unwrap();
+        assert!(content.starts_with("x\n"));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_secs(0.5), "500 ms");
+        assert_eq!(fmt_secs(1.234), "1.23 s");
+        assert_eq!(fmt_secs(250.0), "250 s");
+        assert_eq!(fmt_secs(7200.0), "2.00 h");
+        assert_eq!(fmt_count(950), "950");
+        assert_eq!(fmt_count(24_000), "24 K");
+        assert_eq!(fmt_count(3_300_000), "3.3 M");
+        assert_eq!(fmt_count(1_800_000_000), "1.8 G");
+        assert_eq!(fmt_mb(2 * 1024 * 1024), "2.0 MB");
+    }
+}

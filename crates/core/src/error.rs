@@ -1,0 +1,53 @@
+//! Error type for the algorithm layer.
+
+use std::fmt;
+
+/// Errors from SSA/D-SSA and the surrounding framework.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// Parameters outside their valid domain (message explains which).
+    InvalidParams(String),
+    /// Propagated graph-layer failure (e.g. building a weighted root
+    /// distribution from degenerate weights).
+    Graph(sns_graph::GraphError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidParams(msg) => write!(f, "invalid parameters: {msg}"),
+            CoreError::Graph(e) => write!(f, "graph error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<sns_graph::GraphError> for CoreError {
+    fn from(e: sns_graph::GraphError) -> Self {
+        CoreError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = CoreError::InvalidParams("k must be >= 1".into());
+        assert!(e.to_string().contains("k must be"));
+        assert!(e.source().is_none());
+        let e: CoreError = sns_graph::GraphError::EmptyGraph.into();
+        assert!(e.source().is_some());
+    }
+}

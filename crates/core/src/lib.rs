@@ -1,0 +1,64 @@
+//! Stop-and-Stare: optimal RIS sampling algorithms for influence
+//! maximization.
+//!
+//! This crate implements the primary contribution of Nguyen, Thai & Dinh,
+//! *"Stop-and-Stare: Optimal Sampling Algorithms for Viral Marketing in
+//! Billion-scale Networks"* (SIGMOD 2016):
+//!
+//! * [`Ssa`] — the Stop-and-Stare Algorithm (their Algorithm 1): keeps
+//!   doubling a pool of Reverse Reachable sets, and at each exponential
+//!   checkpoint *stares*: runs Max-Coverage for a candidate seed set and
+//!   checks two statistical stopping conditions (coverage threshold `Λ₁`
+//!   and an independent [`estimate_inf`] validation). Meets a **type-1
+//!   minimum threshold** of samples within a constant factor.
+//! * [`Dssa`] — Dynamic Stop-and-Stare (their Algorithm 4): one sample
+//!   stream split into a find half and a verify half per iteration, with
+//!   the precision parameters `ε₁, ε₂, ε₃` derived *dynamically* from the
+//!   observed estimates. Meets the stronger **type-2 minimum threshold**.
+//! * [`bounds`] — the unified RIS framework of §3: the `Υ(ε,δ)` sample
+//!   bound, the RIS thresholds of TIM/IMM (Eqs. 12–15), the sample cap
+//!   `Nmax`, and the concentration inequalities behind them.
+//! * [`SamplingContext`] — bundles graph, diffusion model, root
+//!   distribution and seeding. With uniform roots the algorithms solve
+//!   classic IM; with weighted roots (WRIS) they solve targeted viral
+//!   marketing — the generalization used by the `sns-tvm` crate.
+//!
+//! Both algorithms return `(1 − 1/e − ε)`-approximate seed sets with
+//! probability at least `1 − δ`.
+//!
+//! # Example
+//!
+//! ```
+//! use sns_graph::{gen::erdos_renyi, WeightModel};
+//! use sns_diffusion::Model;
+//! use sns_core::{Dssa, Params, SamplingContext};
+//!
+//! let g = erdos_renyi(300, 1800, 7).build(WeightModel::WeightedCascade).unwrap();
+//! let ctx = SamplingContext::new(&g, Model::IndependentCascade).with_seed(42);
+//! let params = Params::new(5, 0.3, 0.1).unwrap(); // k = 5, ε = 0.3, δ = 0.1
+//! let result = Dssa::new(params).run(&ctx).unwrap();
+//! assert_eq!(result.seeds.len(), 5);
+//! assert!(result.influence_estimate > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bounds;
+
+mod context;
+mod dssa;
+mod error;
+mod estimate_inf;
+mod framework;
+mod params;
+mod result;
+mod ssa;
+
+pub use context::SamplingContext;
+pub use dssa::{Dssa, DssaIteration};
+pub use error::CoreError;
+pub use estimate_inf::{estimate_inf, estimate_inf_with_sink, EstimateInfOutcome};
+pub use framework::{ris_fixed_pool, RisThresholds};
+pub use params::{Params, SsaEpsilons};
+pub use result::RunResult;
+pub use ssa::Ssa;

@@ -1,0 +1,118 @@
+//! Property-based tests for the RIS bounds and parameter machinery.
+
+use proptest::prelude::*;
+
+use sns_core::bounds::{
+    chernoff_lower_tail, chernoff_upper_tail, ln_choose, ln_gamma, max_iterations, nmax,
+    prior_thresholds, upsilon,
+};
+use sns_core::{Params, SsaEpsilons};
+
+proptest! {
+    /// Υ is monotone: tighter ε or smaller δ never needs fewer samples.
+    #[test]
+    fn upsilon_monotone(
+        eps in 0.01f64..0.9,
+        delta in 1e-9f64..0.5,
+        shrink in 0.1f64..0.99,
+    ) {
+        let base = upsilon(eps, delta);
+        prop_assert!(upsilon(eps * shrink, delta) > base);
+        prop_assert!(upsilon(eps, delta * shrink) > base);
+    }
+
+    /// ln C(n, k) is symmetric, monotone in n, and matches the gamma
+    /// function formulation.
+    #[test]
+    fn ln_choose_properties(n in 2u64..200_000, k_frac in 0.0f64..=1.0) {
+        let k = ((n as f64) * k_frac) as u64;
+        let direct = ln_choose(n, k);
+        prop_assert!((direct - ln_choose(n, n - k)).abs() < 1e-6 * direct.abs().max(1.0));
+        prop_assert!(ln_choose(n + 1, k.max(1)) >= direct - 1e-9);
+        if k > 0 && k < n {
+            let via_gamma = ln_gamma(n as f64 + 1.0)
+                - ln_gamma(k as f64 + 1.0)
+                - ln_gamma((n - k) as f64 + 1.0);
+            prop_assert!(
+                (direct - via_gamma).abs() / direct.abs().max(1.0) < 1e-8,
+                "C({}, {}): {} vs {}", n, k, direct, via_gamma
+            );
+        }
+    }
+
+    /// The recommended ε-split always satisfies the Eq. 18 constraint
+    /// and never leaves more than 20% of the budget on the table.
+    #[test]
+    fn recommended_split_valid(eps in 0.005f64..0.55) {
+        let split = SsaEpsilons::recommended(eps);
+        prop_assert!(split.validate(eps).is_ok(), "eps = {eps}");
+        prop_assert!(split.effective_epsilon() > 0.8 * eps, "eps = {eps} wasteful");
+    }
+
+    /// Nmax and imax scale sanely: doubling from Υ(ε, δ/3) must reach
+    /// 2·Nmax within imax iterations but not long before (no wasted cap).
+    #[test]
+    fn cap_and_iterations_consistent(
+        n in 100u64..1_000_000,
+        k in 1u64..500,
+        eps in 0.05f64..0.3,
+    ) {
+        prop_assume!(k < n);
+        let delta = 1.0 / n as f64;
+        let cap = nmax(n, k, eps, delta, n as f64 / k as f64);
+        prop_assert!(cap > 0.0 && cap.is_finite());
+        let imax = max_iterations(cap, eps, delta);
+        let base = upsilon(eps, delta / 3.0);
+        prop_assert!(base * 2f64.powi(imax as i32) >= 2.0 * cap);
+        if imax > 1 {
+            prop_assert!(base * 2f64.powi(imax as i32 - 1) < 2.0 * cap);
+        }
+    }
+
+    /// The prior-threshold hierarchy (IMM ≤ TIM) holds across the whole
+    /// parameter space, and both shrink as OPT grows.
+    #[test]
+    fn prior_threshold_hierarchy(
+        n in 1000u64..10_000_000,
+        k in 1u64..1000,
+        eps in 0.05f64..0.3,
+        opt_mult in 1.0f64..100.0,
+    ) {
+        prop_assume!(k < n / 2);
+        let delta = 1.0 / n as f64;
+        let opt = k as f64 * opt_mult;
+        let t = prior_thresholds(n, k, eps, delta, opt);
+        prop_assert!(t.imm < t.tim, "IMM {} vs TIM {}", t.imm, t.tim);
+        let t_bigger_opt = prior_thresholds(n, k, eps, delta, opt * 2.0);
+        prop_assert!(t_bigger_opt.imm < t.imm);
+        prop_assert!(t_bigger_opt.tim < t.tim);
+    }
+
+    /// Chernoff tails decay with samples and are valid probabilities.
+    #[test]
+    fn chernoff_tails_behave(
+        samples in 1.0f64..1e7,
+        mu in 1e-6f64..0.5,
+        eps in 0.01f64..1.0,
+    ) {
+        let up = chernoff_upper_tail(samples, mu, eps);
+        let low = chernoff_lower_tail(samples, mu, eps);
+        prop_assert!((0.0..=1.0).contains(&up));
+        prop_assert!((0.0..=1.0).contains(&low));
+        prop_assert!(chernoff_upper_tail(samples * 2.0, mu, eps) <= up);
+        // the upper tail (2 + 2ε/3 denominator) is never tighter than the
+        // lower tail (2 denominator)
+        prop_assert!(up >= low * 0.999999);
+    }
+
+    /// Params validation accepts exactly its documented domain.
+    #[test]
+    fn params_domain(k in 0usize..5, eps in -0.5f64..1.5, delta in -0.5f64..1.5) {
+        let ok = k >= 1
+            && eps > 0.0
+            && eps < 1.0 - 1.0 / std::f64::consts::E
+            && delta > 0.0
+            && delta < 1.0;
+        prop_assert_eq!(Params::new(k, eps, delta).is_ok(), ok);
+    }
+}

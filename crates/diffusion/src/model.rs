@@ -1,0 +1,47 @@
+//! The two propagation models of the paper (§2.1).
+
+/// Diffusion model selector.
+///
+/// Both models run in discrete rounds from a seed set; once active, a node
+/// stays active. They differ in how activation transfers across edges:
+///
+/// * **Independent Cascade (IC)** — when `u` activates it gets one chance
+///   to activate each out-neighbor `v`, succeeding with probability
+///   `w(u, v)` independently of everything else.
+/// * **Linear Threshold (LT)** — each node `v` draws a uniform threshold
+///   `λ_v ∈ [0,1]` once; `v` activates as soon as the total weight of its
+///   active in-neighbors reaches `λ_v`. Requires `Σ_u w(u,v) ≤ 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Model {
+    /// Independent Cascade.
+    IndependentCascade,
+    /// Linear Threshold.
+    LinearThreshold,
+}
+
+impl Model {
+    /// Short name used in reports ("IC" / "LT").
+    pub fn short_name(&self) -> &'static str {
+        match self {
+            Model::IndependentCascade => "IC",
+            Model::LinearThreshold => "LT",
+        }
+    }
+}
+
+impl std::fmt::Display for Model {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names() {
+        assert_eq!(Model::IndependentCascade.to_string(), "IC");
+        assert_eq!(Model::LinearThreshold.to_string(), "LT");
+    }
+}

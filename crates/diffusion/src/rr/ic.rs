@@ -1,0 +1,96 @@
+//! IC reverse reachable set growth: reverse BFS over live in-edges.
+
+use rand::{Rng, RngCore};
+
+use sns_graph::{Graph, NodeId};
+
+/// Grows the RR set from `root` by reverse BFS. Each in-edge `(u, v)` of a
+/// reached node `v` is live independently with probability `w(u, v)` —
+/// the deferred-decision equivalent of sampling the whole live-edge graph
+/// upfront (Borgs et al., SODA'14).
+///
+/// `out` already contains the root; returns the number of in-edges
+/// examined.
+pub(super) fn grow<R: RngCore>(
+    graph: &Graph,
+    root: NodeId,
+    rng: &mut R,
+    visited: &mut [u32],
+    epoch: u32,
+    queue: &mut Vec<NodeId>,
+    out: &mut Vec<NodeId>,
+) -> u64 {
+    let mut edges = 0u64;
+    queue.push(root);
+    let mut head = 0usize;
+    while head < queue.len() {
+        let v = queue[head];
+        head += 1;
+        edges += u64::from(graph.in_degree(v));
+        for (u, w) in graph.in_edges(v) {
+            if visited[u as usize] != epoch && rng.gen::<f32>() < w {
+                visited[u as usize] = epoch;
+                queue.push(u);
+                out.push(u);
+            }
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Model, RrSampler};
+    use sns_graph::{GraphBuilder, WeightModel};
+
+    /// On a reversed star (all leaves point at the hub) with p = 0.5, an
+    /// RR set rooted at the hub contains each leaf independently with
+    /// probability 0.5.
+    #[test]
+    fn leaf_inclusion_probability() {
+        let leaves = 40u32;
+        let mut b = GraphBuilder::new();
+        for u in 1..=leaves {
+            b.add_edge(u, 0, 0.5);
+        }
+        let g = b.build(WeightModel::Provided).unwrap();
+        let mut s = RrSampler::new(&g, Model::IndependentCascade);
+        let mut rr = Vec::new();
+        let mut size_sum = 0u64;
+        let mut hub_rooted = 0u64;
+        for i in 0..40_000u64 {
+            let meta = s.sample(i, &mut rr);
+            if meta.root == 0 {
+                hub_rooted += 1;
+                size_sum += rr.len() as u64;
+            } else {
+                // leaves have no in-edges: singleton RR set
+                assert_eq!(rr.len(), 1);
+            }
+        }
+        let mean = size_sum as f64 / hub_rooted as f64;
+        // 1 (root) + 40 * 0.5 = 21
+        assert!((mean - 21.0).abs() < 0.4, "mean RR size {mean}, expected ~21");
+    }
+
+    /// Edges-examined accounting: the hub's RR set always examines the
+    /// hub's in-edges plus the in-edges of every included leaf (0 each).
+    #[test]
+    fn edge_examination_counts() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(1, 0, 1.0);
+        b.add_edge(2, 0, 1.0);
+        let g = b.build(WeightModel::Provided).unwrap();
+        let mut s = RrSampler::new(&g, Model::IndependentCascade);
+        let mut rr = Vec::new();
+        for i in 0..50 {
+            let meta = s.sample(i, &mut rr);
+            if meta.root == 0 {
+                assert_eq!(meta.edges_examined, 2);
+                assert_eq!(rr.len(), 3);
+            } else {
+                assert_eq!(meta.edges_examined, 0);
+            }
+        }
+    }
+}

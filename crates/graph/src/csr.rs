@@ -1,0 +1,362 @@
+//! Immutable CSR (compressed sparse row) graph representation.
+//!
+//! Both adjacency directions are materialized:
+//!
+//! * forward (out-edges) — walked by the IC/LT *forward* cascade
+//!   simulators;
+//! * reverse (in-edges) — walked by the RIS samplers, which grow a reverse
+//!   reachable set from a random root.
+//!
+//! For the LT reverse walk ("pick one in-neighbor `u` of `v` with
+//! probability `w(u,v)`, or stop with probability `1 − Σ w`") the in-edge
+//! weights of every node are additionally stored as a prefix-sum array so a
+//! single uniform draw resolves to a neighbor with one binary search.
+
+use crate::NodeId;
+
+/// An immutable directed, weighted graph in CSR form.
+///
+/// Construct via [`crate::GraphBuilder`]; all arrays are laid out once and
+/// never mutated, so a `Graph` is `Send + Sync` and can be shared freely
+/// across sampling threads.
+#[derive(Clone)]
+pub struct Graph {
+    n: u32,
+    /// Forward CSR: out-edges of node `v` live at
+    /// `out_targets[out_offsets[v] .. out_offsets[v+1]]`.
+    out_offsets: Vec<u64>,
+    out_targets: Vec<NodeId>,
+    out_weights: Vec<f32>,
+    /// Reverse CSR: in-edges of node `v` live at
+    /// `in_sources[in_offsets[v] .. in_offsets[v+1]]`.
+    in_offsets: Vec<u64>,
+    in_sources: Vec<NodeId>,
+    in_weights: Vec<f32>,
+    /// Per-segment inclusive prefix sums of `in_weights`, used by
+    /// [`Graph::sample_in_neighbor_lt`]. `in_cum[e]` is the sum of the
+    /// weights of the node's in-edges up to and including position `e`.
+    in_cum: Vec<f32>,
+    /// Cached `Σ_u w(u, v)` per node (the last prefix sum of the segment).
+    in_weight_sum: Vec<f32>,
+}
+
+impl Graph {
+    /// Assembles a graph from already-sorted CSR arrays.
+    ///
+    /// Invariants (checked with `debug_assert`s, guaranteed by the builder):
+    /// offsets are monotone with `offsets[0] == 0`, `offsets[n]` equals the
+    /// respective array length, and all node ids are `< n`.
+    pub(crate) fn from_csr(
+        n: u32,
+        out_offsets: Vec<u64>,
+        out_targets: Vec<NodeId>,
+        out_weights: Vec<f32>,
+        in_offsets: Vec<u64>,
+        in_sources: Vec<NodeId>,
+        in_weights: Vec<f32>,
+    ) -> Self {
+        debug_assert_eq!(out_offsets.len(), n as usize + 1);
+        debug_assert_eq!(in_offsets.len(), n as usize + 1);
+        debug_assert_eq!(*out_offsets.last().unwrap() as usize, out_targets.len());
+        debug_assert_eq!(*in_offsets.last().unwrap() as usize, in_sources.len());
+        debug_assert_eq!(out_targets.len(), out_weights.len());
+        debug_assert_eq!(in_sources.len(), in_weights.len());
+
+        let mut in_cum = vec![0.0f32; in_weights.len()];
+        let mut in_weight_sum = vec![0.0f32; n as usize];
+        for v in 0..n as usize {
+            let (s, e) = (in_offsets[v] as usize, in_offsets[v + 1] as usize);
+            // f64 accumulator: a node can have millions of in-edges and the
+            // LT stop-probability depends on the exact tail 1 − Σw.
+            let mut acc = 0.0f64;
+            for i in s..e {
+                acc += f64::from(in_weights[i]);
+                in_cum[i] = acc as f32;
+            }
+            in_weight_sum[v] = acc as f32;
+        }
+
+        Graph {
+            n,
+            out_offsets,
+            out_targets,
+            out_weights,
+            in_offsets,
+            in_sources,
+            in_weights,
+            in_cum,
+            in_weight_sum,
+        }
+    }
+
+    /// Number of nodes `n`.
+    #[inline]
+    pub fn num_nodes(&self) -> u32 {
+        self.n
+    }
+
+    /// Number of directed arcs `m`.
+    #[inline]
+    pub fn num_arcs(&self) -> u64 {
+        self.out_targets.len() as u64
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: NodeId) -> u32 {
+        let v = v as usize;
+        (self.out_offsets[v + 1] - self.out_offsets[v]) as u32
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: NodeId) -> u32 {
+        let v = v as usize;
+        (self.in_offsets[v + 1] - self.in_offsets[v]) as u32
+    }
+
+    /// Targets of the out-edges of `v`.
+    #[inline]
+    pub fn out_neighbors(&self, v: NodeId) -> &[NodeId] {
+        let v = v as usize;
+        &self.out_targets[self.out_offsets[v] as usize..self.out_offsets[v + 1] as usize]
+    }
+
+    /// Weights of the out-edges of `v`, aligned with
+    /// [`Graph::out_neighbors`].
+    #[inline]
+    pub fn out_weights(&self, v: NodeId) -> &[f32] {
+        let v = v as usize;
+        &self.out_weights[self.out_offsets[v] as usize..self.out_offsets[v + 1] as usize]
+    }
+
+    /// Sources of the in-edges of `v`.
+    #[inline]
+    pub fn in_neighbors(&self, v: NodeId) -> &[NodeId] {
+        let v = v as usize;
+        &self.in_sources[self.in_offsets[v] as usize..self.in_offsets[v + 1] as usize]
+    }
+
+    /// Weights of the in-edges of `v`, aligned with
+    /// [`Graph::in_neighbors`].
+    #[inline]
+    pub fn in_weights(&self, v: NodeId) -> &[f32] {
+        let v = v as usize;
+        &self.in_weights[self.in_offsets[v] as usize..self.in_offsets[v + 1] as usize]
+    }
+
+    /// Iterator over `(target, weight)` pairs of the out-edges of `v`.
+    #[inline]
+    pub fn out_edges(&self, v: NodeId) -> OutEdgeIter<'_> {
+        OutEdgeIter {
+            targets: self.out_neighbors(v).iter(),
+            weights: self.out_weights(v).iter(),
+        }
+    }
+
+    /// Iterator over `(source, weight)` pairs of the in-edges of `v`.
+    #[inline]
+    pub fn in_edges(&self, v: NodeId) -> InEdgeIter<'_> {
+        InEdgeIter {
+            sources: self.in_neighbors(v).iter(),
+            weights: self.in_weights(v).iter(),
+        }
+    }
+
+    /// Total incoming weight `Σ_u w(u, v)` of node `v`.
+    ///
+    /// Under the LT model this is the probability that the reverse random
+    /// walk continues past `v` (it stops with probability `1 − Σ w`).
+    #[inline]
+    pub fn in_weight_sum(&self, v: NodeId) -> f32 {
+        self.in_weight_sum[v as usize]
+    }
+
+    /// LT reverse-walk step: maps a uniform draw `r ∈ [0, 1)` to the
+    /// in-neighbor `u` of `v` selected with probability `w(u, v)`, or
+    /// `None` (walk stops) with the residual probability `1 − Σ_u w(u, v)`.
+    ///
+    /// Resolution is a binary search over the node's in-weight prefix sums,
+    /// i.e. `O(log din(v))`.
+    #[inline]
+    pub fn sample_in_neighbor_lt(&self, v: NodeId, r: f32) -> Option<NodeId> {
+        let vi = v as usize;
+        let (s, e) = (self.in_offsets[vi] as usize, self.in_offsets[vi + 1] as usize);
+        if s == e || r >= self.in_weight_sum[vi] {
+            return None;
+        }
+        let seg = &self.in_cum[s..e];
+        // First prefix sum strictly greater than r.
+        let idx = seg.partition_point(|&c| c <= r);
+        if idx >= seg.len() {
+            // Float edge case: r < in_weight_sum but ≥ final prefix due to
+            // rounding in the cached sum. Treat as the last neighbor.
+            return Some(self.in_sources[e - 1]);
+        }
+        Some(self.in_sources[s + idx])
+    }
+
+    /// Whether every node satisfies the LT constraint `Σ_u w(u,v) ≤ 1`
+    /// (with a small tolerance for f32 accumulation error).
+    pub fn lt_compatible(&self) -> bool {
+        self.in_weight_sum.iter().all(|&s| s <= 1.0 + 1e-4)
+    }
+
+    /// Sum of in-degrees of the given nodes: the number of arcs in `G`
+    /// pointing *into* the set. This is the "width" `w(R)` of an RR set
+    /// used by TIM's KPT estimation (Tang et al., SIGMOD'14).
+    pub fn width_of(&self, nodes: &[NodeId]) -> u64 {
+        nodes.iter().map(|&v| u64::from(self.in_degree(v))).sum()
+    }
+
+    /// Approximate resident size of the graph's arrays, in bytes.
+    pub fn memory_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        ((self.out_offsets.len() + self.in_offsets.len()) * size_of::<u64>()
+            + (self.out_targets.len() + self.in_sources.len()) * size_of::<NodeId>()
+            + (self.out_weights.len() + self.in_weights.len() + self.in_cum.len()) * size_of::<f32>()
+            + self.in_weight_sum.len() * size_of::<f32>()) as u64
+    }
+
+    /// Iterator over all arcs as `(from, to, weight)`, in CSR (source)
+    /// order. Intended for export and tests, not hot paths.
+    pub fn arcs(&self) -> impl Iterator<Item = (NodeId, NodeId, f32)> + '_ {
+        (0..self.n).flat_map(move |u| {
+            self.out_edges(u).map(move |(v, w)| (u, v, w))
+        })
+    }
+}
+
+impl std::fmt::Debug for Graph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Graph")
+            .field("nodes", &self.n)
+            .field("arcs", &self.num_arcs())
+            .finish()
+    }
+}
+
+/// Iterator over the `(target, weight)` pairs of a node's out-edges.
+pub struct OutEdgeIter<'a> {
+    targets: std::slice::Iter<'a, NodeId>,
+    weights: std::slice::Iter<'a, f32>,
+}
+
+impl<'a> Iterator for OutEdgeIter<'a> {
+    type Item = (NodeId, f32);
+
+    #[inline]
+    fn next(&mut self) -> Option<Self::Item> {
+        Some((*self.targets.next()?, *self.weights.next()?))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.targets.size_hint()
+    }
+}
+
+impl ExactSizeIterator for OutEdgeIter<'_> {}
+
+/// Iterator over the `(source, weight)` pairs of a node's in-edges.
+pub struct InEdgeIter<'a> {
+    sources: std::slice::Iter<'a, NodeId>,
+    weights: std::slice::Iter<'a, f32>,
+}
+
+impl<'a> Iterator for InEdgeIter<'a> {
+    type Item = (NodeId, f32);
+
+    #[inline]
+    fn next(&mut self) -> Option<Self::Item> {
+        Some((*self.sources.next()?, *self.weights.next()?))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.sources.size_hint()
+    }
+}
+
+impl ExactSizeIterator for InEdgeIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use crate::{GraphBuilder, WeightModel};
+
+    fn triangle() -> crate::Graph {
+        // 0 -> 1 (0.5), 1 -> 2 (0.25), 0 -> 2 (0.25)
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1, 0.5);
+        b.add_edge(1, 2, 0.25);
+        b.add_edge(0, 2, 0.25);
+        b.build(WeightModel::Provided).unwrap()
+    }
+
+    #[test]
+    fn degrees_and_neighbors() {
+        let g = triangle();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_arcs(), 3);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.out_degree(2), 0);
+        assert_eq!(g.in_degree(2), 2);
+        assert_eq!(g.out_neighbors(0), &[1, 2]);
+        assert_eq!(g.in_neighbors(2), &[0, 1]);
+    }
+
+    #[test]
+    fn edge_iterators_pair_weights() {
+        let g = triangle();
+        let out: Vec<_> = g.out_edges(0).collect();
+        assert_eq!(out, vec![(1, 0.5), (2, 0.25)]);
+        let inc: Vec<_> = g.in_edges(2).collect();
+        assert_eq!(inc, vec![(0, 0.25), (1, 0.25)]);
+        assert_eq!(g.out_edges(0).len(), 2);
+    }
+
+    #[test]
+    fn in_weight_sums() {
+        let g = triangle();
+        assert!((g.in_weight_sum(1) - 0.5).abs() < 1e-7);
+        assert!((g.in_weight_sum(2) - 0.5).abs() < 1e-7);
+        assert_eq!(g.in_weight_sum(0), 0.0);
+        assert!(g.lt_compatible());
+    }
+
+    #[test]
+    fn lt_sampling_maps_intervals_to_neighbors() {
+        let g = triangle();
+        // node 2: in-edges (0, 0.25), (1, 0.25); cum = [0.25, 0.5]
+        assert_eq!(g.sample_in_neighbor_lt(2, 0.0), Some(0));
+        assert_eq!(g.sample_in_neighbor_lt(2, 0.2499), Some(0));
+        assert_eq!(g.sample_in_neighbor_lt(2, 0.25), Some(1));
+        assert_eq!(g.sample_in_neighbor_lt(2, 0.4999), Some(1));
+        assert_eq!(g.sample_in_neighbor_lt(2, 0.5), None);
+        assert_eq!(g.sample_in_neighbor_lt(2, 0.99), None);
+        // node with no in-edges never yields a neighbor
+        assert_eq!(g.sample_in_neighbor_lt(0, 0.0), None);
+    }
+
+    #[test]
+    fn width_counts_incoming_arcs() {
+        let g = triangle();
+        assert_eq!(g.width_of(&[2]), 2);
+        assert_eq!(g.width_of(&[0]), 0);
+        assert_eq!(g.width_of(&[0, 1, 2]), 3);
+    }
+
+    #[test]
+    fn arcs_roundtrip() {
+        let g = triangle();
+        let mut arcs: Vec<_> = g.arcs().collect();
+        arcs.sort_by_key(|&(u, v, _)| (u, v));
+        assert_eq!(arcs.len(), 3);
+        assert_eq!(arcs[0].0, 0);
+        assert_eq!(arcs[0].1, 1);
+    }
+
+    #[test]
+    fn memory_accounting_positive() {
+        let g = triangle();
+        assert!(g.memory_bytes() > 0);
+    }
+}

@@ -1,0 +1,134 @@
+//! Barabási–Albert preferential-attachment graphs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use super::Orientation;
+use crate::{GraphBuilder, NodeId};
+
+/// Generates a Barabási–Albert scale-free network: nodes arrive one at a
+/// time and attach to `m_attach` existing nodes chosen proportionally to
+/// their current degree, yielding the heavy-tailed degree distribution
+/// characteristic of social networks.
+///
+/// The seed graph is a star over the first `m_attach + 1` nodes. The
+/// classic "repeated nodes" implementation gives O(1) preferential picks:
+/// every edge endpoint is appended to a pool and uniform draws from the
+/// pool are degree-proportional draws.
+///
+/// `orientation` controls how each undirected attachment edge enters the
+/// directed influence graph.
+///
+/// ```
+/// use sns_graph::{gen::{barabasi_albert, Orientation}, WeightModel};
+/// let g = barabasi_albert(100, 2, Orientation::Symmetric, 1)
+///     .build(WeightModel::WeightedCascade)
+///     .unwrap();
+/// assert_eq!(g.num_nodes(), 100);
+/// ```
+pub fn barabasi_albert(
+    n: u32,
+    m_attach: u32,
+    orientation: Orientation,
+    seed: u64,
+) -> GraphBuilder {
+    assert!(m_attach >= 1, "barabasi_albert needs m_attach >= 1");
+    assert!(
+        n > m_attach,
+        "barabasi_albert needs n > m_attach (got n = {n}, m_attach = {m_attach})"
+    );
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let approx_edges = (u64::from(n) * u64::from(m_attach)) as usize;
+    let mut builder = GraphBuilder::with_capacity(approx_edges * 2);
+    builder.set_num_nodes(n);
+
+    // Degree-proportional pool of endpoints.
+    let mut pool: Vec<NodeId> = Vec::with_capacity(approx_edges * 2);
+    let emit = |b: &mut GraphBuilder, rng: &mut StdRng, u: NodeId, v: NodeId| match orientation {
+        Orientation::Symmetric => {
+            b.add_undirected(u, v);
+        }
+        Orientation::RandomSingle => {
+            if rng.gen::<bool>() {
+                b.add_arc(u, v);
+            } else {
+                b.add_arc(v, u);
+            }
+        }
+    };
+
+    // Star seed: nodes 1..=m_attach each connected to node 0.
+    for v in 1..=m_attach {
+        emit(&mut builder, &mut rng, v, 0);
+        pool.push(v);
+        pool.push(0);
+    }
+
+    let mut targets: Vec<NodeId> = Vec::with_capacity(m_attach as usize);
+    for new in (m_attach + 1)..n {
+        targets.clear();
+        // Sample m_attach distinct targets preferentially; the retry loop
+        // terminates quickly because m_attach is small relative to the
+        // number of distinct pool members.
+        while targets.len() < m_attach as usize {
+            let pick = pool[rng.gen_range(0..pool.len())];
+            if !targets.contains(&pick) {
+                targets.push(pick);
+            }
+        }
+        for &t in &targets {
+            emit(&mut builder, &mut rng, new, t);
+            pool.push(new);
+            pool.push(t);
+        }
+    }
+    builder
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WeightModel;
+
+    #[test]
+    fn node_and_edge_counts() {
+        let g = barabasi_albert(100, 3, Orientation::Symmetric, 2)
+            .build(WeightModel::Constant(0.1))
+            .unwrap();
+        assert_eq!(g.num_nodes(), 100);
+        // star: 3 edges, growth: 96 * 3 edges, each emitted as 2 arcs
+        assert_eq!(g.num_arcs(), 2 * (3 + 96 * 3));
+    }
+
+    #[test]
+    fn random_single_halves_arcs() {
+        let g = barabasi_albert(100, 3, Orientation::RandomSingle, 2)
+            .build(WeightModel::Constant(0.1))
+            .unwrap();
+        assert_eq!(g.num_arcs(), 3 + 96 * 3);
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        let g = barabasi_albert(2000, 2, Orientation::Symmetric, 3)
+            .build(WeightModel::Constant(0.1))
+            .unwrap();
+        let mut degrees: Vec<u32> = (0..g.num_nodes()).map(|v| g.out_degree(v)).collect();
+        degrees.sort_unstable_by(|a, b| b.cmp(a));
+        // hubs: the max degree should far exceed the median — a loose but
+        // robust check for preferential attachment.
+        let max = degrees[0];
+        let median = degrees[degrees.len() / 2];
+        assert!(
+            max >= median * 8,
+            "expected hub formation, max = {max}, median = {median}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "n > m_attach")]
+    fn rejects_tiny_n() {
+        let _ = barabasi_albert(3, 3, Orientation::Symmetric, 0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Erdős–Rényi G(n, m) directed random graphs.
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::GraphBuilder;
+
+/// Samples a directed Erdős–Rényi graph with exactly `num_arcs` distinct
+/// arcs (no self-loops) over `n` nodes.
+///
+/// `num_arcs` is clamped to `n·(n−1)`, the number of possible arcs.
+/// Rejection sampling keeps construction `O(m)` in expectation while the
+/// graph is sparse (the IM regime); for near-complete graphs it degrades
+/// gracefully because the clamp guarantees termination.
+///
+/// ```
+/// use sns_graph::{gen::erdos_renyi, WeightModel};
+/// let g = erdos_renyi(50, 200, 42).build(WeightModel::WeightedCascade).unwrap();
+/// assert_eq!(g.num_nodes(), 50);
+/// assert_eq!(g.num_arcs(), 200);
+/// ```
+pub fn erdos_renyi(n: u32, num_arcs: u64, seed: u64) -> GraphBuilder {
+    assert!(n >= 2, "erdos_renyi needs at least 2 nodes");
+    let max_arcs = u64::from(n) * (u64::from(n) - 1);
+    let m = num_arcs.min(max_arcs);
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen: HashSet<u64> = HashSet::with_capacity(m as usize);
+    let mut builder = GraphBuilder::with_capacity(m as usize);
+    builder.set_num_nodes(n);
+
+    // Dense fallback: when m is close to max_arcs, enumerate-and-shuffle
+    // beats rejection.
+    if m * 2 > max_arcs {
+        let mut all: Vec<(u32, u32)> = (0..n)
+            .flat_map(|u| (0..n).filter(move |&v| v != u).map(move |v| (u, v)))
+            .collect();
+        // Fisher–Yates partial shuffle of the first m slots.
+        for i in 0..m as usize {
+            let j = rng.gen_range(i..all.len());
+            all.swap(i, j);
+        }
+        for &(u, v) in &all[..m as usize] {
+            builder.add_arc(u, v);
+        }
+        return builder;
+    }
+
+    while (seen.len() as u64) < m {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u == v {
+            continue;
+        }
+        let key = (u64::from(u) << 32) | u64::from(v);
+        if seen.insert(key) {
+            builder.add_arc(u, v);
+        }
+    }
+    builder
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WeightModel;
+
+    #[test]
+    fn exact_arc_count_no_loops_no_dups() {
+        let g = erdos_renyi(30, 300, 5).build(WeightModel::Constant(0.1)).unwrap();
+        assert_eq!(g.num_arcs(), 300);
+        let mut arcs: Vec<(u32, u32)> = g.arcs().map(|(u, v, _)| (u, v)).collect();
+        let before = arcs.len();
+        arcs.sort_unstable();
+        arcs.dedup();
+        assert_eq!(arcs.len(), before, "duplicate arcs found");
+        assert!(arcs.iter().all(|&(u, v)| u != v), "self-loop found");
+    }
+
+    #[test]
+    fn clamps_to_complete_digraph() {
+        let g = erdos_renyi(5, 10_000, 0).build(WeightModel::Constant(0.1)).unwrap();
+        assert_eq!(g.num_arcs(), 20); // 5 * 4
+    }
+
+    #[test]
+    fn dense_fallback_path() {
+        // m > max/2 triggers the enumerate-and-shuffle branch.
+        let g = erdos_renyi(10, 80, 3).build(WeightModel::Constant(0.1)).unwrap();
+        assert_eq!(g.num_arcs(), 80);
+        let mut arcs: Vec<(u32, u32)> = g.arcs().map(|(u, v, _)| (u, v)).collect();
+        arcs.sort_unstable();
+        arcs.dedup();
+        assert_eq!(arcs.len(), 80);
+    }
+}

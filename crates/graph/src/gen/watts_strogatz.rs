@@ -1,0 +1,106 @@
+//! Watts–Strogatz small-world graphs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use super::Orientation;
+use crate::GraphBuilder;
+
+/// Generates a Watts–Strogatz small-world network: a ring lattice where
+/// each node connects to its `k` nearest neighbors (`k/2` on each side),
+/// with every lattice edge rewired to a uniform random endpoint with
+/// probability `beta`.
+///
+/// `k` must be even and `< n`. `beta = 0` yields the pure lattice,
+/// `beta = 1` approaches an Erdős–Rényi graph.
+///
+/// ```
+/// use sns_graph::{gen::{watts_strogatz, Orientation}, WeightModel};
+/// let g = watts_strogatz(60, 4, 0.1, Orientation::Symmetric, 5)
+///     .build(WeightModel::WeightedCascade)
+///     .unwrap();
+/// assert_eq!(g.num_nodes(), 60);
+/// ```
+pub fn watts_strogatz(
+    n: u32,
+    k: u32,
+    beta: f64,
+    orientation: Orientation,
+    seed: u64,
+) -> GraphBuilder {
+    assert!(k % 2 == 0, "watts_strogatz needs even k");
+    assert!(k >= 2 && k < n, "watts_strogatz needs 2 <= k < n");
+    assert!((0.0..=1.0).contains(&beta), "beta must be in [0, 1]");
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::with_capacity((u64::from(n) * u64::from(k)) as usize);
+    builder.set_num_nodes(n);
+
+    let emit = |b: &mut GraphBuilder, rng: &mut StdRng, u: u32, v: u32| match orientation {
+        Orientation::Symmetric => {
+            b.add_undirected(u, v);
+        }
+        Orientation::RandomSingle => {
+            if rng.gen::<bool>() {
+                b.add_arc(u, v);
+            } else {
+                b.add_arc(v, u);
+            }
+        }
+    };
+
+    for u in 0..n {
+        for j in 1..=(k / 2) {
+            let lattice_v = (u + j) % n;
+            let v = if rng.gen::<f64>() < beta {
+                // Rewire to a random non-self endpoint. Duplicates that
+                // arise are merged by the builder's dedup pass.
+                let mut w = rng.gen_range(0..n);
+                while w == u {
+                    w = rng.gen_range(0..n);
+                }
+                w
+            } else {
+                lattice_v
+            };
+            emit(&mut builder, &mut rng, u, v);
+        }
+    }
+    builder
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WeightModel;
+
+    #[test]
+    fn pure_lattice_has_uniform_degree() {
+        let g = watts_strogatz(40, 4, 0.0, Orientation::Symmetric, 1)
+            .build(WeightModel::Constant(0.1))
+            .unwrap();
+        // each node touches k others; symmetric emission gives out-degree k
+        for v in 0..40 {
+            assert_eq!(g.out_degree(v), 4, "node {v}");
+        }
+    }
+
+    #[test]
+    fn rewiring_perturbs_lattice() {
+        let lattice = watts_strogatz(200, 6, 0.0, Orientation::Symmetric, 1)
+            .build(WeightModel::Constant(0.1))
+            .unwrap();
+        let rewired = watts_strogatz(200, 6, 0.5, Orientation::Symmetric, 1)
+            .build(WeightModel::Constant(0.1))
+            .unwrap();
+        let a: Vec<_> = lattice.arcs().map(|(u, v, _)| (u, v)).collect();
+        let b: Vec<_> = rewired.arcs().map(|(u, v, _)| (u, v)).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "even k")]
+    fn rejects_odd_k() {
+        let _ = watts_strogatz(10, 3, 0.1, Orientation::Symmetric, 0);
+    }
+}

@@ -1,0 +1,260 @@
+//! Graph persistence: text edge lists (SNAP-style) and a compact binary
+//! format.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::{Graph, GraphBuilder, GraphError, WeightModel};
+
+/// Magic prefix of the binary format.
+const MAGIC: &[u8; 4] = b"SNSG";
+/// Current binary format version.
+const VERSION: u32 = 1;
+
+/// Parses a SNAP-style text edge list: one `from to [weight]` triple per
+/// line, `#` / `%` comment lines and blank lines ignored.
+///
+/// Returns a [`GraphBuilder`] so the caller decides the weight model; rows
+/// without a weight column must be built with a generating model, rows
+/// with one can use [`WeightModel::Provided`].
+pub fn read_edge_list<R: BufRead>(reader: R) -> Result<GraphBuilder, GraphError> {
+    let mut builder = GraphBuilder::new();
+    let mut line_no = 0usize;
+    let mut buf = String::new();
+    let mut reader = reader;
+    loop {
+        buf.clear();
+        line_no += 1;
+        let n = reader.read_line(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        let line = buf.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let from = parse_node(it.next(), line_no, "missing source node")?;
+        let to = parse_node(it.next(), line_no, "missing target node")?;
+        match it.next() {
+            None => {
+                builder.add_arc(from, to);
+            }
+            Some(tok) => {
+                let w: f32 = tok.parse().map_err(|_| GraphError::Parse {
+                    line: line_no,
+                    message: format!("invalid weight {tok:?}"),
+                })?;
+                builder.add_edge(from, to, w);
+                if it.next().is_some() {
+                    return Err(GraphError::Parse {
+                        line: line_no,
+                        message: "too many columns (expected `from to [weight]`)".into(),
+                    });
+                }
+            }
+        }
+    }
+    Ok(builder)
+}
+
+fn parse_node(tok: Option<&str>, line: usize, msg: &str) -> Result<u32, GraphError> {
+    let tok = tok.ok_or_else(|| GraphError::Parse { line, message: msg.into() })?;
+    tok.parse().map_err(|_| GraphError::Parse {
+        line,
+        message: format!("invalid node id {tok:?}"),
+    })
+}
+
+/// Reads an edge list from a file path.
+pub fn read_edge_list_path<P: AsRef<Path>>(path: P) -> Result<GraphBuilder, GraphError> {
+    read_edge_list(BufReader::new(File::open(path)?))
+}
+
+/// Writes the graph as a weighted text edge list (`from to weight`).
+pub fn write_edge_list<W: Write>(g: &Graph, writer: W) -> Result<(), GraphError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# sns-graph edge list: {} nodes, {} arcs", g.num_nodes(), g.num_arcs())?;
+    for (u, v, weight) in g.arcs() {
+        writeln!(w, "{u} {v} {weight}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes the graph to a file as a text edge list.
+pub fn write_edge_list_path<P: AsRef<Path>>(g: &Graph, path: P) -> Result<(), GraphError> {
+    write_edge_list(g, File::create(path)?)
+}
+
+/// Serializes the graph in the compact binary format
+/// (`SNSG | version | n | m | m × (from, to, weight)`, little-endian).
+pub fn write_binary<W: Write>(g: &Graph, writer: W) -> Result<(), GraphError> {
+    let mut w = BufWriter::new(writer);
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&g.num_nodes().to_le_bytes())?;
+    w.write_all(&g.num_arcs().to_le_bytes())?;
+    for (u, v, weight) in g.arcs() {
+        w.write_all(&u.to_le_bytes())?;
+        w.write_all(&v.to_le_bytes())?;
+        w.write_all(&weight.to_le_bytes())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes the binary format to a file.
+pub fn write_binary_path<P: AsRef<Path>>(g: &Graph, path: P) -> Result<(), GraphError> {
+    write_binary(g, File::create(path)?)
+}
+
+/// Deserializes a graph written by [`write_binary`]. Weights are restored
+/// exactly ([`WeightModel::Provided`]).
+pub fn read_binary<R: Read>(reader: R) -> Result<Graph, GraphError> {
+    let mut r = BufReader::new(reader);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(GraphError::BadFormat("bad magic (not an SNSG file)".into()));
+    }
+    let version = read_u32(&mut r)?;
+    if version != VERSION {
+        return Err(GraphError::BadFormat(format!(
+            "unsupported version {version} (expected {VERSION})"
+        )));
+    }
+    let n = read_u32(&mut r)?;
+    let m = read_u64(&mut r)?;
+    let mut builder = GraphBuilder::with_capacity(m as usize);
+    if n == 0 {
+        return Err(GraphError::BadFormat("zero nodes".into()));
+    }
+    builder.set_num_nodes(n);
+    // Self-loops and duplicates were already resolved when the source
+    // graph was built; keep the bytes as-is.
+    builder.allow_self_loops(true);
+    let mut rec = [0u8; 12];
+    for _ in 0..m {
+        r.read_exact(&mut rec)?;
+        let u = u32::from_le_bytes(rec[0..4].try_into().unwrap());
+        let v = u32::from_le_bytes(rec[4..8].try_into().unwrap());
+        let w = f32::from_le_bytes(rec[8..12].try_into().unwrap());
+        builder.add_edge(u, v, w);
+    }
+    builder.build(WeightModel::Provided)
+}
+
+/// Reads the binary format from a file.
+pub fn read_binary_path<P: AsRef<Path>>(path: P) -> Result<Graph, GraphError> {
+    read_binary(File::open(path)?)
+}
+
+fn read_u32<R: Read>(r: &mut R) -> Result<u32, GraphError> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> Result<u64, GraphError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WeightModel;
+
+    #[test]
+    fn parses_weighted_and_comments() {
+        let text = "# header\n% alt comment\n\n0 1 0.5\n1 2 0.25\n";
+        let b = read_edge_list(text.as_bytes()).unwrap();
+        let g = b.build(WeightModel::Provided).unwrap();
+        assert_eq!(g.num_arcs(), 2);
+        assert!((g.out_weights(0)[0] - 0.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn parses_unweighted() {
+        let text = "0 1\n1 2\n2 0\n";
+        let g = read_edge_list(text.as_bytes())
+            .unwrap()
+            .build(WeightModel::WeightedCascade)
+            .unwrap();
+        assert_eq!(g.num_arcs(), 3);
+    }
+
+    #[test]
+    fn reports_parse_errors_with_line_numbers() {
+        let text = "0 1 0.5\nnot a line\n";
+        match read_edge_list(text.as_bytes()) {
+            Err(GraphError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+
+        let text = "0\n";
+        assert!(matches!(read_edge_list(text.as_bytes()), Err(GraphError::Parse { line: 1, .. })));
+
+        let text = "0 1 0.5 9 9\n";
+        assert!(matches!(read_edge_list(text.as_bytes()), Err(GraphError::Parse { .. })));
+
+        let text = "0 1 huh\n";
+        assert!(matches!(read_edge_list(text.as_bytes()), Err(GraphError::Parse { .. })));
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1, 0.5);
+        b.add_edge(1, 2, 0.125);
+        b.set_num_nodes(4);
+        let g = b.build(WeightModel::Provided).unwrap();
+
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(&buf[..]).unwrap().build(WeightModel::Provided).unwrap();
+        // node 3 is isolated so the text round-trip shrinks n; arcs match
+        assert_eq!(g2.num_arcs(), g.num_arcs());
+        let a1: Vec<_> = g.arcs().collect();
+        let a2: Vec<_> = g2.arcs().collect();
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn binary_roundtrip_preserves_everything() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1, 0.5);
+        b.add_edge(1, 2, 0.125);
+        b.set_num_nodes(5); // trailing isolated nodes survive binary io
+        let g = b.build(WeightModel::Provided).unwrap();
+
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let g2 = read_binary(&buf[..]).unwrap();
+        assert_eq!(g2.num_nodes(), 5);
+        assert_eq!(g2.num_arcs(), 2);
+        let a1: Vec<_> = g.arcs().collect();
+        let a2: Vec<_> = g2.arcs().collect();
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn binary_rejects_garbage() {
+        assert!(matches!(read_binary(&b"XXXX"[..]), Err(GraphError::BadFormat(_))));
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(read_binary(&buf[..]), Err(GraphError::BadFormat(_))));
+        // truncated file
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1, 0.5);
+        let g = b.build(WeightModel::Provided).unwrap();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_binary(&buf[..]).is_err());
+    }
+}

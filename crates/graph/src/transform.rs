@@ -1,0 +1,125 @@
+//! Graph transformations: transpose and induced subgraphs.
+//!
+//! Both are standard preprocessing steps in IM studies — transposition
+//! converts "who influences v" questions into forward reachability, and
+//! induced subgraphs are how scaled-down experiment replicas are cut out
+//! of larger networks.
+
+use crate::{Graph, GraphBuilder, GraphError, NodeId, WeightModel};
+
+/// Returns the transpose graph: every arc `(u, v, w)` becomes `(v, u, w)`.
+///
+/// Influence semantics flip accordingly: the influence of `S` in the
+/// transpose is the expected number of nodes that can *reach* `S` in the
+/// original — useful for source-detection analyses.
+pub fn transpose(g: &Graph) -> Graph {
+    let mut b = GraphBuilder::with_capacity(g.num_arcs() as usize);
+    b.set_num_nodes(g.num_nodes());
+    for (u, v, w) in g.arcs() {
+        b.add_edge(v, u, w);
+    }
+    b.build(WeightModel::Provided)
+        .expect("transposing a valid graph cannot fail")
+}
+
+/// Extracts the subgraph induced by `nodes`, relabelling them densely to
+/// `0..nodes.len()` in the given order.
+///
+/// Returns the subgraph and the mapping `new id -> original id`.
+/// Duplicate entries in `nodes` are rejected.
+pub fn induced_subgraph(g: &Graph, nodes: &[NodeId]) -> Result<(Graph, Vec<NodeId>), GraphError> {
+    let n = g.num_nodes();
+    let mut new_id = vec![u32::MAX; n as usize];
+    for (i, &v) in nodes.iter().enumerate() {
+        if v >= n {
+            return Err(GraphError::NodeOutOfRange { node: v, num_nodes: n });
+        }
+        if new_id[v as usize] != u32::MAX {
+            return Err(GraphError::Parse {
+                line: i + 1,
+                message: format!("duplicate node {v} in induced_subgraph selection"),
+            });
+        }
+        new_id[v as usize] = i as u32;
+    }
+    let mut b = GraphBuilder::new();
+    b.set_num_nodes(nodes.len() as u32);
+    if nodes.is_empty() {
+        return Err(GraphError::EmptyGraph);
+    }
+    for &v in nodes {
+        for (t, w) in g.out_edges(v) {
+            let nt = new_id[t as usize];
+            if nt != u32::MAX {
+                b.add_edge(new_id[v as usize], nt, w);
+            }
+        }
+    }
+    let sub = b.build(WeightModel::Provided)?;
+    Ok((sub, nodes.to_vec()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1, 0.5);
+        b.add_edge(1, 2, 0.25);
+        b.add_edge(0, 2, 0.75);
+        b.build(WeightModel::Provided).unwrap()
+    }
+
+    #[test]
+    fn transpose_flips_arcs() {
+        let g = triangle();
+        let t = transpose(&g);
+        assert_eq!(t.num_nodes(), 3);
+        assert_eq!(t.num_arcs(), 3);
+        let mut arcs: Vec<_> = t.arcs().collect();
+        arcs.sort_by_key(|&(u, v, _)| (u, v));
+        assert_eq!(arcs[0], (1, 0, 0.5));
+        assert_eq!(arcs[1], (2, 0, 0.75));
+        assert_eq!(arcs[2], (2, 1, 0.25));
+        // double transpose = identity
+        let tt = transpose(&t);
+        let a: Vec<_> = g.arcs().collect();
+        let b: Vec<_> = tt.arcs().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges() {
+        let g = triangle();
+        let (sub, mapping) = induced_subgraph(&g, &[0, 2]).unwrap();
+        assert_eq!(sub.num_nodes(), 2);
+        assert_eq!(mapping, vec![0, 2]);
+        // only 0 -> 2 (weight 0.75) survives; relabelled 0 -> 1
+        let arcs: Vec<_> = sub.arcs().collect();
+        assert_eq!(arcs, vec![(0, 1, 0.75)]);
+    }
+
+    #[test]
+    fn induced_subgraph_validates() {
+        let g = triangle();
+        assert!(matches!(
+            induced_subgraph(&g, &[0, 9]),
+            Err(GraphError::NodeOutOfRange { node: 9, .. })
+        ));
+        assert!(induced_subgraph(&g, &[0, 0]).is_err());
+        assert!(matches!(induced_subgraph(&g, &[]), Err(GraphError::EmptyGraph)));
+    }
+
+    #[test]
+    fn relabelling_preserves_order() {
+        let g = triangle();
+        let (sub, mapping) = induced_subgraph(&g, &[2, 1, 0]).unwrap();
+        assert_eq!(mapping, vec![2, 1, 0]);
+        // original 0 -> 1 becomes 2 -> 1; original 1 -> 2 becomes 1 -> 0;
+        // original 0 -> 2 becomes 2 -> 0
+        let mut arcs: Vec<_> = sub.arcs().collect();
+        arcs.sort_by_key(|&(u, v, _)| (u, v));
+        assert_eq!(arcs, vec![(1, 0, 0.25), (2, 0, 0.75), (2, 1, 0.5)]);
+    }
+}

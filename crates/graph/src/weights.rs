@@ -1,0 +1,164 @@
+//! Edge-weight assignment conventions from the IM literature.
+
+use rand::distributions::{Distribution, Uniform};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::NodeId;
+
+/// How edge weights `w(u, v) ∈ [0, 1]` are assigned when a
+/// [`crate::GraphBuilder`] is materialized.
+///
+/// The paper (§7.1) uses the *weighted cascade* convention
+/// `w(u,v) = 1/din(v)`, following Tang et al. and Chen et al.; the other
+/// models are standard alternatives the baselines are commonly evaluated
+/// with and are used by the ablation benches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WeightModel {
+    /// Keep the weights passed to [`crate::GraphBuilder::add_edge`].
+    /// Edges added without a weight (via `add_arc`) are rejected.
+    Provided,
+    /// `w(u, v) = 1 / din(v)` — the paper's setting. Guarantees the LT
+    /// constraint `Σ_u w(u,v) = 1` holds for every node with in-edges.
+    WeightedCascade,
+    /// Every edge gets the same probability `p` (the classic IC setting,
+    /// e.g. `p = 0.01` or `p = 0.1` in Kempe et al.).
+    Constant(f32),
+    /// Each weight drawn uniformly at random from `{0.1, 0.01, 0.001}`
+    /// (the "trivalency" model of Chen et al., KDD'10). Deterministic for a
+    /// given seed.
+    Trivalency {
+        /// RNG seed so graph construction stays reproducible.
+        seed: u64,
+    },
+    /// Each weight drawn uniformly from `[lo, hi]`. Deterministic for a
+    /// given seed.
+    UniformRandom {
+        /// Inclusive lower bound, must satisfy `0 ≤ lo ≤ hi`.
+        lo: f32,
+        /// Inclusive upper bound, must satisfy `hi ≤ 1`.
+        hi: f32,
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+impl WeightModel {
+    /// Assigns weights for the (deduplicated, sorted-by-source) edge list.
+    ///
+    /// `in_degree[v]` must hold the in-degree of each node in the final
+    /// edge list. Weights for `Provided` are passed through unchanged (the
+    /// builder has already validated them).
+    pub(crate) fn assign(
+        &self,
+        edges: &mut [(NodeId, NodeId, f32)],
+        in_degree: &[u32],
+    ) {
+        match *self {
+            WeightModel::Provided => {}
+            WeightModel::WeightedCascade => {
+                for e in edges.iter_mut() {
+                    let d = in_degree[e.1 as usize];
+                    debug_assert!(d > 0, "edge target must have in-degree >= 1");
+                    e.2 = 1.0 / d as f32;
+                }
+            }
+            WeightModel::Constant(p) => {
+                for e in edges.iter_mut() {
+                    e.2 = p;
+                }
+            }
+            WeightModel::Trivalency { seed } => {
+                const LEVELS: [f32; 3] = [0.1, 0.01, 0.001];
+                let mut rng = StdRng::seed_from_u64(seed);
+                let die = Uniform::new(0usize, 3);
+                for e in edges.iter_mut() {
+                    e.2 = LEVELS[die.sample(&mut rng)];
+                }
+            }
+            WeightModel::UniformRandom { lo, hi, seed } => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let dist = Uniform::new_inclusive(lo, hi);
+                for e in edges.iter_mut() {
+                    e.2 = dist.sample(&mut rng);
+                }
+            }
+        }
+    }
+
+    /// Whether this model requires weights supplied at `add_edge` time.
+    pub fn requires_provided_weights(&self) -> bool {
+        matches!(self, WeightModel::Provided)
+    }
+
+    /// Whether the produced graph is guaranteed to satisfy the LT
+    /// constraint `Σ_u w(u,v) ≤ 1` regardless of topology.
+    pub fn guarantees_lt(&self) -> bool {
+        matches!(self, WeightModel::WeightedCascade)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GraphBuilder, WeightModel};
+
+    #[test]
+    fn weighted_cascade_normalizes_in_weights() {
+        let mut b = GraphBuilder::new();
+        for u in 0..4 {
+            b.add_arc(u, 4);
+        }
+        b.add_arc(4, 0);
+        let g = b.build(WeightModel::WeightedCascade).unwrap();
+        assert!((g.in_weight_sum(4) - 1.0).abs() < 1e-6);
+        for (_, w) in g.in_edges(4) {
+            assert!((w - 0.25).abs() < 1e-7);
+        }
+        assert!(g.lt_compatible());
+    }
+
+    #[test]
+    fn constant_assigns_everywhere() {
+        let mut b = GraphBuilder::new();
+        b.add_arc(0, 1);
+        b.add_arc(1, 2);
+        let g = b.build(WeightModel::Constant(0.3)).unwrap();
+        for (_, _, w) in g.arcs() {
+            assert!((w - 0.3).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn trivalency_uses_only_three_levels_and_is_deterministic() {
+        let build = || {
+            let mut b = GraphBuilder::new();
+            for i in 0..50u32 {
+                b.add_arc(i, (i + 1) % 50);
+            }
+            b.build(WeightModel::Trivalency { seed: 9 }).unwrap()
+        };
+        let g1 = build();
+        let g2 = build();
+        let w1: Vec<f32> = g1.arcs().map(|(_, _, w)| w).collect();
+        let w2: Vec<f32> = g2.arcs().map(|(_, _, w)| w).collect();
+        assert_eq!(w1, w2);
+        for w in w1 {
+            assert!([0.1f32, 0.01, 0.001].iter().any(|&l| (l - w).abs() < 1e-9));
+        }
+    }
+
+    #[test]
+    fn uniform_random_within_bounds() {
+        let mut b = GraphBuilder::new();
+        for i in 0..100u32 {
+            b.add_arc(i, (i + 7) % 100);
+        }
+        let g = b
+            .build(WeightModel::UniformRandom { lo: 0.2, hi: 0.4, seed: 3 })
+            .unwrap();
+        for (_, _, w) in g.arcs() {
+            assert!((0.2..=0.4).contains(&w));
+        }
+    }
+}

@@ -1,0 +1,301 @@
+//! Arena-backed RR-set pool with an inverted index.
+
+use std::ops::Range;
+
+use sns_diffusion::{RrMeta, RrSampler};
+use sns_graph::NodeId;
+
+/// A growing pool of RR sets.
+///
+/// Storage is a flat node arena plus per-set offsets; the inverted index
+/// maps each node to the (ascending) ids of the sets containing it, which
+/// is what both greedy max-coverage and coverage queries traverse.
+///
+/// Set ids are dense `0..len()` in insertion order, so the "first
+/// `Λ·2^(t−1)` samples" semantics of SSA/D-SSA map directly onto id
+/// ranges.
+#[derive(Debug, Clone)]
+pub struct RrCollection {
+    n: u32,
+    /// Flattened node lists of all sets.
+    data: Vec<NodeId>,
+    /// `offsets[i]..offsets[i+1]` spans set `i` in `data`.
+    offsets: Vec<u64>,
+    /// `node_to_sets[v]` = ids of sets containing `v`, ascending.
+    node_to_sets: Vec<Vec<u32>>,
+    /// Total in-edges examined while sampling all pooled sets.
+    total_edges_examined: u64,
+}
+
+impl RrCollection {
+    /// Creates an empty pool over `n` nodes.
+    pub fn new(n: u32) -> Self {
+        RrCollection {
+            n,
+            data: Vec::new(),
+            offsets: vec![0],
+            node_to_sets: vec![Vec::new(); n as usize],
+            total_edges_examined: 0,
+        }
+    }
+
+    /// Node-universe size this pool indexes.
+    pub fn num_nodes(&self) -> u32 {
+        self.n
+    }
+
+    /// Number of pooled RR sets.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of node entries across all sets.
+    pub fn total_nodes(&self) -> u64 {
+        self.data.len() as u64
+    }
+
+    /// Total in-edges examined while sampling (the RIS cost measure).
+    pub fn total_edges_examined(&self) -> u64 {
+        self.total_edges_examined
+    }
+
+    /// The nodes of set `id` (root first).
+    pub fn set(&self, id: usize) -> &[NodeId] {
+        let (s, e) = (self.offsets[id] as usize, self.offsets[id + 1] as usize);
+        &self.data[s..e]
+    }
+
+    /// Ids of the sets containing `v`, ascending.
+    pub fn sets_containing(&self, v: NodeId) -> &[u32] {
+        &self.node_to_sets[v as usize]
+    }
+
+    /// Ids of the sets containing `v` restricted to an id `range`
+    /// (binary-searched — the per-node lists are ascending).
+    pub fn sets_containing_in(&self, v: NodeId, range: Range<u32>) -> &[u32] {
+        let list = &self.node_to_sets[v as usize];
+        let lo = list.partition_point(|&id| id < range.start);
+        let hi = list.partition_point(|&id| id < range.end);
+        &list[lo..hi]
+    }
+
+    /// Appends one sampled set.
+    pub fn push(&mut self, rr: &[NodeId], meta: RrMeta) {
+        debug_assert!(self.len() < u32::MAX as usize, "set-id space exhausted");
+        let id = self.len() as u32;
+        self.data.extend_from_slice(rr);
+        self.offsets.push(self.data.len() as u64);
+        for &v in rr {
+            self.node_to_sets[v as usize].push(id);
+        }
+        self.total_edges_examined += meta.edges_examined;
+    }
+
+    /// Grows the pool with samples `from_index .. from_index + count` from
+    /// the sampler's deterministic stream, sequentially.
+    pub fn extend_sequential(&mut self, sampler: &mut RrSampler<'_>, from_index: u64, count: u64) {
+        let mut rr = Vec::new();
+        for i in 0..count {
+            let meta = sampler.sample(from_index + i, &mut rr);
+            self.push(&rr, meta);
+        }
+    }
+
+    /// Grows the pool with samples `from_index .. from_index + count`,
+    /// fanning generation across `threads` workers. The result is
+    /// **bit-identical** to [`RrCollection::extend_sequential`] because
+    /// each sample index owns its RNG stream and workers own contiguous
+    /// index ranges merged back in order.
+    pub fn extend_parallel(
+        &mut self,
+        sampler: &RrSampler<'_>,
+        from_index: u64,
+        count: u64,
+        threads: usize,
+    ) {
+        let workers = threads.clamp(1, count.max(1) as usize);
+        if workers == 1 || count < 128 {
+            let mut local = sampler.clone();
+            self.extend_sequential(&mut local, from_index, count);
+            return;
+        }
+        let chunk = count.div_ceil(workers as u64);
+        // Each worker fills a private mini-arena; merging preserves index
+        // order so the pool layout matches the sequential build.
+        let batches: Vec<(Vec<NodeId>, Vec<u64>, u64)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers as u64)
+                .map(|w| {
+                    let start = from_index + w * chunk;
+                    let end = (from_index + (w + 1) * chunk).min(from_index + count);
+                    let mut local = sampler.clone();
+                    scope.spawn(move || {
+                        let mut data = Vec::new();
+                        let mut offsets = vec![0u64];
+                        let mut edges = 0u64;
+                        let mut rr = Vec::new();
+                        for i in start..end {
+                            let meta = local.sample(i, &mut rr);
+                            data.extend_from_slice(&rr);
+                            offsets.push(data.len() as u64);
+                            edges += meta.edges_examined;
+                        }
+                        (data, offsets, edges)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("rr worker panicked")).collect()
+        });
+        for (data, offsets, edges) in batches {
+            for w in offsets.windows(2) {
+                let rr = &data[w[0] as usize..w[1] as usize];
+                let id = self.len() as u32;
+                self.data.extend_from_slice(rr);
+                self.offsets.push(self.data.len() as u64);
+                for &v in rr {
+                    self.node_to_sets[v as usize].push(id);
+                }
+            }
+            self.total_edges_examined += edges;
+        }
+    }
+
+    /// Number of sets in `range` covered by `seeds` (`Cov_R(S)` of the
+    /// paper, Eq. 1, restricted to a pool slice).
+    ///
+    /// `scratch` must be a reusable byte buffer; it is resized to the
+    /// range length and cleared on entry.
+    pub fn coverage_of_range(&self, seeds: &[NodeId], range: Range<u32>, scratch: &mut Vec<bool>) -> u64 {
+        let len = (range.end - range.start) as usize;
+        scratch.clear();
+        scratch.resize(len, false);
+        let mut covered = 0u64;
+        for &s in seeds {
+            for &id in self.sets_containing_in(s, range.clone()) {
+                let slot = (id - range.start) as usize;
+                if !scratch[slot] {
+                    scratch[slot] = true;
+                    covered += 1;
+                }
+            }
+        }
+        covered
+    }
+
+    /// Number of pooled sets covered by `seeds` (`Cov_R(S)`, Eq. 1).
+    pub fn coverage_of(&self, seeds: &[NodeId]) -> u64 {
+        let mut scratch = Vec::new();
+        self.coverage_of_range(seeds, 0..self.len() as u32, &mut scratch)
+    }
+
+    /// Exact byte footprint of the pool (arena + offsets + inverted
+    /// index, counting capacities). This is the quantity the memory
+    /// experiments (Figs. 6–7) report.
+    pub fn memory_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        let arena = self.data.capacity() * size_of::<NodeId>();
+        let offsets = self.offsets.capacity() * size_of::<u64>();
+        let index: usize = self
+            .node_to_sets
+            .iter()
+            .map(|v| v.capacity() * size_of::<u32>() + size_of::<Vec<u32>>())
+            .sum();
+        (arena + offsets + index) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sns_diffusion::{Model, RrSampler};
+    use sns_graph::WeightModel;
+
+    fn meta(root: NodeId) -> RrMeta {
+        RrMeta { root, edges_examined: 1 }
+    }
+
+    #[test]
+    fn push_and_query() {
+        let mut rc = RrCollection::new(5);
+        rc.push(&[0, 1, 2], meta(0));
+        rc.push(&[1], meta(1));
+        rc.push(&[3, 1], meta(3));
+        assert_eq!(rc.len(), 3);
+        assert_eq!(rc.total_nodes(), 6);
+        assert_eq!(rc.set(0), &[0, 1, 2]);
+        assert_eq!(rc.set(1), &[1]);
+        assert_eq!(rc.sets_containing(1), &[0, 1, 2]);
+        assert_eq!(rc.sets_containing(4), &[] as &[u32]);
+        assert_eq!(rc.total_edges_examined(), 3);
+    }
+
+    #[test]
+    fn coverage_counts_each_set_once() {
+        let mut rc = RrCollection::new(5);
+        rc.push(&[0, 1], meta(0));
+        rc.push(&[1, 2], meta(1));
+        rc.push(&[3], meta(3));
+        // seeds {0, 1}: sets 0 and 1 covered (set 0 via both nodes, once)
+        assert_eq!(rc.coverage_of(&[0, 1]), 2);
+        assert_eq!(rc.coverage_of(&[3]), 1);
+        assert_eq!(rc.coverage_of(&[4]), 0);
+        assert_eq!(rc.coverage_of(&[0, 1, 2, 3]), 3);
+    }
+
+    #[test]
+    fn range_restricted_queries() {
+        let mut rc = RrCollection::new(3);
+        rc.push(&[0], meta(0)); // id 0
+        rc.push(&[0, 1], meta(0)); // id 1
+        rc.push(&[1], meta(1)); // id 2
+        rc.push(&[0, 2], meta(0)); // id 3
+        assert_eq!(rc.sets_containing_in(0, 1..4), &[1, 3]);
+        let mut scratch = Vec::new();
+        assert_eq!(rc.coverage_of_range(&[0], 0..2, &mut scratch), 2);
+        assert_eq!(rc.coverage_of_range(&[0], 2..4, &mut scratch), 1);
+        assert_eq!(rc.coverage_of_range(&[1], 2..4, &mut scratch), 1);
+    }
+
+    #[test]
+    fn parallel_growth_bit_identical_to_sequential() {
+        let g = sns_graph::gen::erdos_renyi(300, 2400, 5)
+            .build(WeightModel::WeightedCascade)
+            .unwrap();
+        for model in [Model::IndependentCascade, Model::LinearThreshold] {
+            let sampler = RrSampler::with_config(&g, model, sns_diffusion::RootDist::Uniform, 11);
+            let mut seq = RrCollection::new(300);
+            seq.extend_sequential(&mut sampler.clone(), 0, 1000);
+            let mut par = RrCollection::new(300);
+            par.extend_parallel(&sampler, 0, 1000, 8);
+            assert_eq!(seq.len(), par.len());
+            assert_eq!(seq.data, par.data);
+            assert_eq!(seq.offsets, par.offsets);
+            assert_eq!(seq.node_to_sets, par.node_to_sets);
+            assert_eq!(seq.total_edges_examined, par.total_edges_examined);
+        }
+    }
+
+    #[test]
+    fn memory_accounting_grows() {
+        let mut rc = RrCollection::new(4);
+        let empty = rc.memory_bytes();
+        for i in 0..100 {
+            rc.push(&[(i % 4) as u32, ((i + 1) % 4) as u32], meta(0));
+        }
+        assert!(rc.memory_bytes() > empty);
+    }
+
+    #[test]
+    fn inverted_index_is_ascending() {
+        let mut rc = RrCollection::new(2);
+        for _ in 0..50 {
+            rc.push(&[0, 1], meta(0));
+        }
+        let ids = rc.sets_containing(0);
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
+    }
+}

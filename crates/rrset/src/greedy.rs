@@ -1,0 +1,285 @@
+//! Greedy Max-Coverage — Algorithm 2 of the paper.
+//!
+//! The greedy algorithm repeatedly selects the node covering the most
+//! still-uncovered RR sets; Nemhauser–Wolsey submodularity gives the
+//! `(1 − 1/e)` guarantee relative to the best size-`k` cover. Two
+//! implementations:
+//!
+//! * [`max_coverage`] — exact decremental coverage counts plus a lazy
+//!   max-heap (stale entries are re-keyed on pop), the implementation used
+//!   by every algorithm in this library. Total work is `O(Σ|R_j| + n +
+//!   heap traffic)`.
+//! * [`max_coverage_naive`] — linear rescan of all nodes per round,
+//!   `O(n·k + Σ|R_j|)`. Kept as the correctness oracle and ablation
+//!   baseline.
+
+use std::collections::BinaryHeap;
+use std::ops::Range;
+
+use sns_graph::NodeId;
+
+use crate::RrCollection;
+
+/// Result of a greedy max-coverage run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoverageResult {
+    /// Selected seed nodes, in selection order.
+    pub seeds: Vec<NodeId>,
+    /// Number of RR sets covered by `seeds` (within the queried range).
+    pub covered: u64,
+    /// Marginal coverage gain of each seed at its selection time.
+    pub marginal_gains: Vec<u64>,
+}
+
+impl CoverageResult {
+    /// Estimated influence this cover represents: `Γ · covered / |R|`
+    /// (Lemma 1 of the paper; `Γ = n` for plain RIS).
+    pub fn influence_estimate(&self, gamma: f64, pool_size: u64) -> f64 {
+        if pool_size == 0 {
+            return 0.0;
+        }
+        gamma * self.covered as f64 / pool_size as f64
+    }
+}
+
+/// Runs lazy-greedy max-coverage over the whole pool.
+pub fn max_coverage(rc: &RrCollection, k: usize) -> CoverageResult {
+    max_coverage_range(rc, k, 0..rc.len() as u32)
+}
+
+/// Runs lazy-greedy max-coverage over the pool slice `range` (used by
+/// D-SSA, whose candidate half is the id range `0..Λ·2^(t−1)`).
+pub fn max_coverage_range(rc: &RrCollection, k: usize, range: Range<u32>) -> CoverageResult {
+    let n = rc.num_nodes();
+    let k = k.min(n as usize);
+    let range_len = (range.end - range.start) as usize;
+
+    // Exact current marginal gain per node.
+    let mut gain: Vec<u64> = (0..n)
+        .map(|v| rc.sets_containing_in(v, range.clone()).len() as u64)
+        .collect();
+    let mut heap: BinaryHeap<(u64, NodeId)> = (0..n)
+        .filter(|&v| gain[v as usize] > 0)
+        .map(|v| (gain[v as usize], v))
+        .collect();
+
+    let mut covered_mark = vec![false; range_len];
+    let mut selected = vec![false; n as usize];
+    let mut seeds = Vec::with_capacity(k);
+    let mut marginal_gains = Vec::with_capacity(k);
+    let mut covered = 0u64;
+
+    while seeds.len() < k {
+        let Some((g, v)) = heap.pop() else { break };
+        if selected[v as usize] {
+            continue;
+        }
+        let current = gain[v as usize];
+        if g > current {
+            // Stale entry: re-key with the exact gain. Gains only
+            // decrease, so the max-heap invariant stays sound.
+            if current > 0 {
+                heap.push((current, v));
+            }
+            continue;
+        }
+        // g == current: v is the true argmax.
+        if current == 0 {
+            break; // nothing left to cover
+        }
+        selected[v as usize] = true;
+        seeds.push(v);
+        marginal_gains.push(current);
+        covered += current;
+        for &id in rc.sets_containing_in(v, range.clone()) {
+            let slot = (id - range.start) as usize;
+            if covered_mark[slot] {
+                continue;
+            }
+            covered_mark[slot] = true;
+            for &w in rc.set(id as usize) {
+                gain[w as usize] -= 1;
+            }
+        }
+        debug_assert_eq!(gain[v as usize], 0);
+    }
+
+    // The paper's algorithms want exactly k seeds even when extra seeds
+    // add no coverage (I(S) still counts the seeds themselves). Pad with
+    // arbitrary unselected nodes, gain 0.
+    let mut next = 0u32;
+    while seeds.len() < k && next < n {
+        if !selected[next as usize] {
+            selected[next as usize] = true;
+            seeds.push(next);
+            marginal_gains.push(0);
+        }
+        next += 1;
+    }
+
+    CoverageResult { seeds, covered, marginal_gains }
+}
+
+/// Textbook greedy: rescans every node each round. Correctness oracle for
+/// [`max_coverage`] and the ablation baseline.
+pub fn max_coverage_naive(rc: &RrCollection, k: usize) -> CoverageResult {
+    let n = rc.num_nodes();
+    let k = k.min(n as usize);
+    let mut gain: Vec<u64> = (0..n).map(|v| rc.sets_containing(v).len() as u64).collect();
+    let mut covered_mark = vec![false; rc.len()];
+    let mut selected = vec![false; n as usize];
+    let mut seeds = Vec::with_capacity(k);
+    let mut marginal_gains = Vec::with_capacity(k);
+    let mut covered = 0u64;
+
+    for _ in 0..k {
+        let mut best: Option<(u64, NodeId)> = None;
+        for v in 0..n {
+            if selected[v as usize] || gain[v as usize] == 0 {
+                continue;
+            }
+            // Tie-break on the smaller node id to mirror the heap's
+            // deterministic order ((gain, id) max-heap pops the largest id
+            // first — match naive to heap by preferring larger ids).
+            let candidate = (gain[v as usize], v);
+            if best.map_or(true, |b| candidate > b) {
+                best = Some(candidate);
+            }
+        }
+        let Some((g, v)) = best else { break };
+        selected[v as usize] = true;
+        seeds.push(v);
+        marginal_gains.push(g);
+        covered += g;
+        for &id in rc.sets_containing(v) {
+            let slot = id as usize;
+            if covered_mark[slot] {
+                continue;
+            }
+            covered_mark[slot] = true;
+            for &w in rc.set(slot) {
+                gain[w as usize] -= 1;
+            }
+        }
+    }
+
+    let mut next = 0u32;
+    while seeds.len() < k && next < n {
+        if !selected[next as usize] {
+            selected[next as usize] = true;
+            seeds.push(next);
+            marginal_gains.push(0);
+        }
+        next += 1;
+    }
+
+    CoverageResult { seeds, covered, marginal_gains }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sns_diffusion::RrMeta;
+
+    fn m() -> RrMeta {
+        RrMeta { root: 0, edges_examined: 0 }
+    }
+
+    fn pool(sets: &[&[NodeId]], n: u32) -> RrCollection {
+        let mut rc = RrCollection::new(n);
+        for s in sets {
+            rc.push(s, m());
+        }
+        rc
+    }
+
+    #[test]
+    fn picks_the_dominating_node() {
+        let rc = pool(&[&[0, 1], &[0, 2], &[0, 3], &[4]], 5);
+        let r = max_coverage(&rc, 1);
+        assert_eq!(r.seeds, vec![0]);
+        assert_eq!(r.covered, 3);
+        assert_eq!(r.marginal_gains, vec![3]);
+    }
+
+    #[test]
+    fn two_seeds_cover_everything() {
+        let rc = pool(&[&[0, 1], &[0, 2], &[4], &[4, 3]], 5);
+        let r = max_coverage(&rc, 2);
+        assert_eq!(r.covered, 4);
+        let mut s = r.seeds.clone();
+        s.sort_unstable();
+        assert_eq!(s, vec![0, 4]);
+    }
+
+    #[test]
+    fn pads_to_k_seeds_when_coverage_exhausted() {
+        let rc = pool(&[&[1]], 4);
+        let r = max_coverage(&rc, 3);
+        assert_eq!(r.seeds.len(), 3);
+        assert_eq!(r.covered, 1);
+        assert_eq!(r.seeds[0], 1);
+        assert_eq!(r.marginal_gains[1], 0);
+        assert_eq!(r.marginal_gains[2], 0);
+    }
+
+    #[test]
+    fn k_clamped_to_n() {
+        let rc = pool(&[&[0], &[1]], 2);
+        let r = max_coverage(&rc, 10);
+        assert_eq!(r.seeds.len(), 2);
+    }
+
+    #[test]
+    fn empty_pool_yields_zero_coverage() {
+        let rc = pool(&[], 3);
+        let r = max_coverage(&rc, 2);
+        assert_eq!(r.covered, 0);
+        assert_eq!(r.seeds.len(), 2); // padded
+        assert_eq!(r.influence_estimate(3.0, 0), 0.0);
+    }
+
+    #[test]
+    fn range_restriction_changes_the_answer() {
+        // sets 0,1 dominated by node 0; sets 2,3 dominated by node 1
+        let rc = pool(&[&[0], &[0, 2], &[1], &[1, 2]], 3);
+        let first = max_coverage_range(&rc, 1, 0..2);
+        assert_eq!(first.seeds, vec![0]);
+        let second = max_coverage_range(&rc, 1, 2..4);
+        assert_eq!(second.seeds, vec![1]);
+    }
+
+    #[test]
+    fn lazy_matches_naive_on_random_pools() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1234);
+        for trial in 0..30 {
+            let n = rng.gen_range(5..40u32);
+            let sets = rng.gen_range(1..120usize);
+            let mut rc = RrCollection::new(n);
+            for _ in 0..sets {
+                let len = rng.gen_range(1..6usize);
+                let mut s: Vec<NodeId> = (0..len).map(|_| rng.gen_range(0..n)).collect();
+                s.sort_unstable();
+                s.dedup();
+                rc.push(&s, m());
+            }
+            let k = rng.gen_range(1..6usize);
+            let lazy = max_coverage(&rc, k);
+            let naive = max_coverage_naive(&rc, k);
+            // Greedy choices can differ on ties, but total coverage of the
+            // greedy solution is unique given deterministic tie-breaks; we
+            // assert both use (gain, id) max ordering so seeds match too.
+            assert_eq!(lazy.covered, naive.covered, "trial {trial}");
+            assert_eq!(lazy.seeds, naive.seeds, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn influence_estimate_scales() {
+        let rc = pool(&[&[0], &[0], &[1], &[2]], 3);
+        let r = max_coverage(&rc, 1);
+        // covers 2 of 4 sets; gamma = 3 nodes -> estimate 1.5
+        assert!((r.influence_estimate(3.0, 4) - 1.5).abs() < 1e-12);
+    }
+}

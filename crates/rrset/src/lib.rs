@@ -1,0 +1,30 @@
+//! RR-set pool and max-coverage machinery for the Stop-and-Stare library.
+//!
+//! Every RIS algorithm works on a growing pool `R` of Reverse Reachable
+//! sets and repeatedly needs two operations:
+//!
+//! * **Max-Coverage** (Algorithm 2 of the paper): pick `k` nodes covering
+//!   the most RR sets — [`max_coverage`] implements the standard greedy
+//!   with a lazy priority queue (gains are submodular, so stale heap
+//!   entries are safe), [`max_coverage_naive`] the textbook rescan version
+//!   used for cross-checks and ablation benches.
+//! * **Coverage queries**: `Cov_R(S)` for the stopping conditions —
+//!   [`RrCollection::coverage_of`].
+//!
+//! [`RrCollection`] stores sets in a flat arena with an inverted
+//! node→set-id index, supports deterministic parallel growth, and accounts
+//! its exact byte footprint (the quantity Figures 6–7 of the paper track).
+//!
+//! D-SSA splits its sample stream into halves (`R_t`, `R^c_t`); both
+//! [`max_coverage_range`] and [`RrCollection::coverage_of_range`] take a
+//! set-id range so the halves can live in one pool without copying.
+
+#![warn(missing_docs)]
+
+mod bucket;
+mod collection;
+mod greedy;
+
+pub use bucket::max_coverage_bucket;
+pub use collection::RrCollection;
+pub use greedy::{max_coverage, max_coverage_naive, max_coverage_range, CoverageResult};

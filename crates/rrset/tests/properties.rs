@@ -1,0 +1,132 @@
+//! Property-based tests for the RR pool and greedy max-coverage.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use sns_diffusion::RrMeta;
+use sns_graph::NodeId;
+use sns_rrset::{max_coverage, max_coverage_naive, RrCollection};
+
+const N: u32 = 24;
+
+fn meta() -> RrMeta {
+    RrMeta { root: 0, edges_examined: 0 }
+}
+
+/// Strategy: a pool of up to 80 RR sets, each 1..6 distinct nodes.
+fn pool_strategy() -> impl Strategy<Value = Vec<Vec<NodeId>>> {
+    vec(vec(0u32..N, 1..6), 0..80).prop_map(|sets| {
+        sets.into_iter()
+            .map(|mut s| {
+                s.sort_unstable();
+                s.dedup();
+                s
+            })
+            .collect()
+    })
+}
+
+fn build(sets: &[Vec<NodeId>]) -> RrCollection {
+    let mut rc = RrCollection::new(N);
+    for s in sets {
+        rc.push(s, meta());
+    }
+    rc
+}
+
+/// Exhaustive best size-k coverage, for small instances.
+fn exhaustive_best(rc: &RrCollection, k: usize) -> u64 {
+    fn count(rc: &RrCollection, seeds: &[NodeId]) -> u64 {
+        rc.coverage_of(seeds)
+    }
+    let nodes: Vec<NodeId> = (0..N).collect();
+    let mut best = 0;
+    // choose(24, k) is fine for k <= 3
+    fn rec(
+        rc: &RrCollection,
+        nodes: &[NodeId],
+        k: usize,
+        start: usize,
+        current: &mut Vec<NodeId>,
+        best: &mut u64,
+    ) {
+        if current.len() == k {
+            *best = (*best).max(count(rc, current));
+            return;
+        }
+        for i in start..nodes.len() {
+            current.push(nodes[i]);
+            rec(rc, nodes, k, i + 1, current, best);
+            current.pop();
+        }
+    }
+    let mut cur = Vec::new();
+    rec(rc, &nodes, k, 0, &mut cur, &mut best);
+    best
+}
+
+proptest! {
+    /// Lazy greedy and naive greedy agree exactly (same deterministic
+    /// tie-breaking).
+    #[test]
+    fn lazy_equals_naive(sets in pool_strategy(), k in 1usize..6) {
+        let rc = build(&sets);
+        let a = max_coverage(&rc, k);
+        let b = max_coverage_naive(&rc, k);
+        prop_assert_eq!(a.covered, b.covered);
+        prop_assert_eq!(a.seeds, b.seeds);
+        prop_assert_eq!(a.marginal_gains, b.marginal_gains);
+    }
+
+    /// The greedy cover is consistent with a direct coverage query over
+    /// its seeds.
+    #[test]
+    fn reported_coverage_is_real(sets in pool_strategy(), k in 1usize..6) {
+        let rc = build(&sets);
+        let r = max_coverage(&rc, k);
+        prop_assert_eq!(r.covered, rc.coverage_of(&r.seeds));
+        let gain_sum: u64 = r.marginal_gains.iter().sum();
+        prop_assert_eq!(r.covered, gain_sum);
+    }
+
+    /// Greedy achieves at least (1 - 1/e) of the exhaustive optimum
+    /// (Nemhauser–Wolsey); checked on small k where exhaustive search is
+    /// feasible.
+    #[test]
+    fn greedy_approximation_bound(sets in pool_strategy(), k in 1usize..4) {
+        let rc = build(&sets);
+        let greedy = max_coverage(&rc, k).covered as f64;
+        let opt = exhaustive_best(&rc, k) as f64;
+        prop_assert!(greedy >= (1.0 - 1.0 / std::f64::consts::E) * opt - 1e-9,
+            "greedy {} below bound for opt {}", greedy, opt);
+    }
+
+    /// Coverage is monotone: more seeds never cover fewer sets.
+    #[test]
+    fn coverage_monotone(sets in pool_strategy(), k in 1usize..5) {
+        let rc = build(&sets);
+        let small = max_coverage(&rc, k);
+        let large = max_coverage(&rc, k + 1);
+        prop_assert!(large.covered >= small.covered);
+    }
+
+    /// Marginal gains are non-increasing (submodularity of coverage).
+    #[test]
+    fn marginal_gains_non_increasing(sets in pool_strategy(), k in 1usize..8) {
+        let rc = build(&sets);
+        let r = max_coverage(&rc, k);
+        prop_assert!(r.marginal_gains.windows(2).all(|w| w[0] >= w[1]),
+            "gains not monotone: {:?}", r.marginal_gains);
+    }
+
+    /// coverage_of over a union of singleton queries upper-bounds the
+    /// union query (inclusion-exclusion sanity).
+    #[test]
+    fn coverage_subadditive(sets in pool_strategy(), a in 0u32..N, b in 0u32..N) {
+        let rc = build(&sets);
+        let together = rc.coverage_of(&[a, b]);
+        let separate = rc.coverage_of(&[a]) + rc.coverage_of(&[b]);
+        prop_assert!(together <= separate);
+        prop_assert!(together >= rc.coverage_of(&[a]));
+    }
+}

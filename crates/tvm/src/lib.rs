@@ -1,0 +1,48 @@
+//! Targeted Viral Marketing (TVM) — §7.3 of the Stop-and-Stare paper.
+//!
+//! TVM generalizes influence maximization: instead of counting every
+//! activated node, each node `v` carries a relevance weight `b(v) ≥ 0`
+//! (how interested that user is in the campaign topic) and the objective
+//! is the *targeted* influence `I_T(S) = Σ_v b(v)·Pr[v activated]`.
+//!
+//! The reduction (Li, Zhang, Tan — VLDB'15, adopted by the paper) is
+//! weighted RIS ("WRIS"): draw the RR-set root proportional to `b(v)`
+//! instead of uniformly; then `I_T(S) = Γ·Pr[S covers R]` with
+//! `Γ = Σ_v b(v)`, and every RIS algorithm runs unchanged with `n`
+//! replaced by `Γ`. This crate provides
+//!
+//! * [`TargetWeights`] — validated weight vectors, including the
+//!   synthetic topic model standing in for the paper's tweet-keyword
+//!   mining (Table 4; see `DESIGN.md` §4),
+//! * [`SsaTvm`] / [`DssaTvm`] — the paper's Stop-and-Stare TVM
+//!   algorithms (thin wrappers: the core crate is already
+//!   universe-generic),
+//! * [`KbTim`] — the prior state of the art (TIM+ over WRIS),
+//! * [`TargetedSpreadEstimator`] — forward Monte Carlo estimation of
+//!   `I_T(S)` for evaluating seed quality.
+//!
+//! # Example
+//!
+//! ```
+//! use sns_graph::{gen::erdos_renyi, WeightModel};
+//! use sns_diffusion::Model;
+//! use sns_core::Params;
+//! use sns_tvm::{DssaTvm, TargetWeights};
+//!
+//! let g = erdos_renyi(300, 1500, 3).build(WeightModel::WeightedCascade).unwrap();
+//! let topic = TargetWeights::synthetic_topic(&g, 0.1, 1.0, 42).unwrap();
+//! let r = DssaTvm::new(Params::new(3, 0.3, 0.1).unwrap())
+//!     .run(&g, Model::LinearThreshold, &topic, 7, 1)
+//!     .unwrap();
+//! assert_eq!(r.seeds.len(), 3);
+//! ```
+
+#![warn(missing_docs)]
+
+mod algorithms;
+mod spread;
+mod weights;
+
+pub use algorithms::{DssaTvm, KbTim, SsaTvm};
+pub use spread::TargetedSpreadEstimator;
+pub use weights::{TargetWeights, TopicSpec, TOPIC_1, TOPIC_2};

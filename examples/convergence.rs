@@ -1,0 +1,64 @@
+//! D-SSA convergence trajectory: watch the dynamic ε-split tighten until
+//! the stopping condition fires — §6 of the paper, made visible.
+//!
+//! Each doubling checkpoint prints the find/verify influence estimates,
+//! the data-derived (ε₁, ε₂, ε₃), and the realized ε_t that condition D2
+//! compares against the target ε. The run stops at the first checkpoint
+//! where ε_t ≤ ε — *that* is the "stare" of stop-and-stare.
+//!
+//! ```sh
+//! cargo run --release --example convergence
+//! ```
+
+use stop_and_stare::graph::{gen, GraphStats, WeightModel};
+use stop_and_stare::{Dssa, Model, Params, SamplingContext};
+
+fn main() {
+    let graph = gen::rmat(20_000, 160_000, gen::RmatParams::GRAPH500, 13)
+        .build(WeightModel::WeightedCascade)
+        .expect("generator parameters are valid");
+    println!("network: {}\n", GraphStats::compute(&graph));
+
+    let epsilon = 0.1;
+    let params = Params::with_paper_delta(100, epsilon, graph.num_nodes() as u64)
+        .expect("parameters are in range");
+    let ctx = SamplingContext::new(&graph, Model::LinearThreshold).with_seed(21);
+
+    let (result, trace) = Dssa::new(params).run_traced(&ctx).expect("run succeeds");
+
+    println!(
+        "{:>3} {:>12} {:>10} {:>10} {:>9} {:>9} {:>9} {:>9}  {}",
+        "t", "pool", "Î(find)", "Î(verify)", "eps1", "eps2", "eps3", "eps_t", "D2?"
+    );
+    for it in &trace {
+        match (it.influence_verify, it.epsilons, it.eps_t) {
+            (Some(ic), Some((e1, e2, e3)), Some(et)) => println!(
+                "{:>3} {:>12} {:>10.0} {:>10.0} {:>9.4} {:>9.4} {:>9.4} {:>9.4}  {}",
+                it.t,
+                it.pool_size,
+                it.influence_find,
+                ic,
+                e1,
+                e2,
+                e3,
+                et,
+                if et <= epsilon { "STOP" } else { "continue" }
+            ),
+            _ => println!(
+                "{:>3} {:>12} {:>10.0} {:>10} {:>9} {:>9} {:>9} {:>9}  {}",
+                it.t, it.pool_size, it.influence_find, "-", "-", "-", "-", "-", "D1 not met"
+            ),
+        }
+    }
+
+    println!(
+        "\nstopped after {} iterations with {} RR sets; Î = {:.0}, ε target {epsilon}",
+        result.iterations,
+        result.rr_sets_total(),
+        result.influence_estimate
+    );
+    println!(
+        "note how ε₂/ε₃ shrink as the pool doubles while ε₁ hovers near 0 — the algorithm \
+         spends samples exactly until the combined ε_t crosses the target, never further."
+    );
+}

@@ -1,0 +1,71 @@
+//! Epidemic control: pick vaccination / monitoring targets.
+//!
+//! The paper's introduction lists epidemic control among IM's core
+//! applications: the k most influential nodes under an infection model
+//! are exactly the ones whose immunization (or monitoring) curbs the
+//! expected outbreak the most. This example builds a contact network,
+//! selects monitors with D-SSA, and measures how much seeding random
+//! outbreaks *around* the monitors still spreads compared to random or
+//! degree-based target selection.
+//!
+//! ```sh
+//! cargo run --release --example outbreak_detection
+//! ```
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use stop_and_stare::graph::{gen, WeightModel};
+use stop_and_stare::{Dssa, Model, Params, SamplingContext, SpreadEstimator};
+
+fn main() {
+    // Contact network: small-world (household/workplace ring structure
+    // with long-range shortcuts), uniform 20% transmission probability.
+    let graph = gen::watts_strogatz(20_000, 8, 0.1, gen::Orientation::Symmetric, 77)
+        .build(WeightModel::Constant(0.2))
+        .expect("generator parameters are valid");
+    let n = graph.num_nodes();
+    let budget = 50;
+
+    // Monitors = most influential spreaders under IC.
+    let params = Params::with_paper_delta(budget, 0.1, u64::from(n)).expect("params in range");
+    let ctx = SamplingContext::new(&graph, Model::IndependentCascade).with_seed(3);
+    let result = Dssa::new(params).run(&ctx).expect("run succeeds");
+    println!(
+        "selected {} monitors in {:.0} ms using {} RR sets",
+        budget,
+        result.wall_time.as_secs_f64() * 1e3,
+        result.rr_sets_total()
+    );
+
+    // Baselines: top-degree nodes, and a random committee.
+    let mut by_degree: Vec<u32> = (0..n).collect();
+    by_degree.sort_unstable_by_key(|&v| std::cmp::Reverse(graph.out_degree(v)));
+    let degree_picks = &by_degree[..budget];
+    let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+    let mut shuffled: Vec<u32> = (0..n).collect();
+    shuffled.shuffle(&mut rng);
+    let random_picks = &shuffled[..budget];
+
+    let estimator = SpreadEstimator::new(&graph, Model::IndependentCascade);
+    println!("\nexpected outbreak size if seeded at the chosen nodes (higher = more critical):");
+    let mut scores = Vec::new();
+    for (name, picks) in [
+        ("D-SSA (influence)", result.seeds.as_slice()),
+        ("top degree", degree_picks),
+        ("random", random_picks),
+    ] {
+        let spread = estimator.estimate(picks, 5_000, 21);
+        println!("{name:>18}: {spread:>8.1} nodes");
+        scores.push(spread);
+    }
+    let (dssa, degree, random) = (scores[0], scores[1], scores[2]);
+    println!(
+        "\nD-SSA vs degree: {:+.1}% — on a homogeneous small-world contact net the degree \
+         heuristic is a strong proxy, and any gap within ε = 10% is consistent with the \
+         guarantee; vs random: {:+.1}%. Unlike either heuristic, the D-SSA choice carries \
+         a worst-case (1 − 1/e − ε) certificate on every topology.",
+        100.0 * (dssa - degree) / degree,
+        100.0 * (dssa - random) / random,
+    );
+}

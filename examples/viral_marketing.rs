@@ -1,0 +1,59 @@
+//! Viral marketing campaign planning: compare a seeding budget sweep
+//! across algorithms — the scenario from the paper's introduction.
+//!
+//! A brand wants to seed a campaign with k ambassadors. This example
+//! sweeps budgets on a Twitter-like network, compares D-SSA against the
+//! prior state of the art (IMM), and reports the marginal value of each
+//! additional budget tranche so a marketer can pick the knee point.
+//!
+//! ```sh
+//! cargo run --release --example viral_marketing
+//! ```
+
+use stop_and_stare::baselines::Imm;
+use stop_and_stare::graph::{gen::datasets, GraphStats};
+use stop_and_stare::{Dssa, Model, Params, SamplingContext, SpreadEstimator};
+
+fn main() {
+    // Twitter stand-in at 1/1024 scale (≈ 40k users) so the example runs
+    // in seconds on a laptop; see `repro` for full-scale experiments.
+    let graph = datasets::TWITTER
+        .generate(1.0 / 1024.0, 2024)
+        .expect("generator parameters are valid");
+    println!("campaign network: {}\n", GraphStats::compute(&graph));
+
+    let ctx = SamplingContext::new(&graph, Model::LinearThreshold).with_seed(11);
+    let estimator = SpreadEstimator::new(&graph, Model::LinearThreshold);
+
+    println!(
+        "{:>8}  {:>14}  {:>12}  {:>14}  {:>12}  {:>16}",
+        "budget", "D-SSA reach", "D-SSA time", "IMM reach", "IMM time", "marginal reach/k"
+    );
+    let mut prev_reach = 0.0f64;
+    let mut prev_k = 0usize;
+    for k in [5usize, 10, 25, 50, 100, 250] {
+        let params = Params::with_paper_delta(k, 0.1, graph.num_nodes() as u64)
+            .expect("parameters are in range");
+        let dssa = Dssa::new(params).run(&ctx).expect("run succeeds");
+        let imm = Imm::new(params).run(&ctx).expect("run succeeds");
+        let reach = estimator.estimate(&dssa.seeds, 5_000, 3);
+        let imm_reach = estimator.estimate(&imm.seeds, 5_000, 3);
+        let marginal = (reach - prev_reach) / (k - prev_k) as f64;
+        println!(
+            "{:>8}  {:>14.0}  {:>10.0}ms  {:>14.0}  {:>10.0}ms  {:>16.2}",
+            k,
+            reach,
+            dssa.wall_time.as_secs_f64() * 1e3,
+            imm_reach,
+            imm.wall_time.as_secs_f64() * 1e3,
+            marginal,
+        );
+        prev_reach = reach;
+        prev_k = k;
+    }
+    println!(
+        "\nreading the table: equal reach at every budget (same guarantee), but D-SSA \
+         needs far fewer samples — the paper's headline result. Diminishing marginal \
+         reach locates the budget knee."
+    );
+}

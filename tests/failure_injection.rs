@@ -1,0 +1,157 @@
+//! Failure injection and boundary-condition tests across the stack.
+
+use stop_and_stare::graph::{gen, io, GraphBuilder, GraphError, WeightModel};
+use stop_and_stare::{Dssa, Model, Params, SamplingContext, Ssa};
+
+/// Malformed inputs fail loudly with actionable errors, never panic.
+#[test]
+fn malformed_edge_lists_are_rejected() {
+    for (text, expect_line) in [
+        ("0\n", 1usize),
+        ("0 1 0.5\n0 x\n", 2),
+        ("0 1 2.5e400\n", 1), // weight overflows f32 parse -> inf, caught at build or parse
+        ("a b\n", 1),
+    ] {
+        match io::read_edge_list(text.as_bytes()) {
+            Err(GraphError::Parse { line, .. }) => assert_eq!(line, expect_line, "{text:?}"),
+            Ok(builder) => {
+                // the inf-weight case parses (f32: inf) and must then be
+                // rejected at build time
+                assert!(
+                    builder.build(WeightModel::Provided).is_err(),
+                    "{text:?} should fail somewhere"
+                );
+            }
+            Err(other) => panic!("{text:?}: unexpected error {other}"),
+        }
+    }
+}
+
+/// Graphs with isolated nodes, sink-only nodes and zero-weight edges are
+/// all legal and the algorithms behave sensibly on them.
+#[test]
+fn degenerate_graphs_run_cleanly() {
+    // 10 nodes, one dead (p = 0) edge, eight isolated nodes.
+    let mut b = GraphBuilder::new();
+    b.set_num_nodes(10);
+    b.add_edge(0, 1, 0.0);
+    let g = b.build(WeightModel::Provided).unwrap();
+
+    let params = Params::new(3, 0.3, 0.1).unwrap();
+    for model in [Model::IndependentCascade, Model::LinearThreshold] {
+        let ctx = SamplingContext::new(&g, model).with_seed(1);
+        let r = Dssa::new(params).run(&ctx).unwrap();
+        assert_eq!(r.seeds.len(), 3);
+        // every node influences exactly itself: Î ≈ k
+        assert!(
+            (r.influence_estimate - 3.0).abs() < 1.0,
+            "{model}: Î = {}",
+            r.influence_estimate
+        );
+    }
+}
+
+/// k ≥ n: all nodes are returned, no panic, estimate ≈ n on a dead graph.
+#[test]
+fn k_larger_than_n() {
+    let mut b = GraphBuilder::new();
+    b.set_num_nodes(4);
+    b.add_edge(0, 1, 0.0);
+    let g = b.build(WeightModel::Provided).unwrap();
+    let params = Params::new(100, 0.3, 0.1).unwrap();
+    let ctx = SamplingContext::new(&g, Model::IndependentCascade).with_seed(1);
+    for r in [Ssa::new(params).run(&ctx).unwrap(), Dssa::new(params).run(&ctx).unwrap()] {
+        let mut seeds = r.seeds.clone();
+        seeds.sort_unstable();
+        assert_eq!(seeds, vec![0, 1, 2, 3]);
+    }
+}
+
+/// Parameter validation rejects out-of-domain (k, ε, δ) combinations.
+#[test]
+fn parameter_domain_enforced() {
+    assert!(Params::new(0, 0.1, 0.1).is_err());
+    assert!(Params::new(1, -0.1, 0.1).is_err());
+    assert!(Params::new(1, 0.1, 1.5).is_err());
+    // ε beyond 1 − 1/e makes the guarantee vacuous
+    assert!(Params::new(1, 0.64, 0.1).is_err());
+    // boundary-adjacent values are accepted
+    assert!(Params::new(1, 0.63, 0.999).is_ok());
+    assert!(Params::new(1, 1e-6, 1e-12).is_ok());
+}
+
+/// LT reverse walks require Σ w(u,v) ≤ 1; a graph violating it is
+/// detectable, and normalize_for_lt repairs it.
+#[test]
+fn lt_constraint_detection_and_repair() {
+    let mut b = GraphBuilder::new();
+    b.add_edge(0, 2, 0.9);
+    b.add_edge(1, 2, 0.9);
+    let g = b.clone().build(WeightModel::Provided).unwrap();
+    assert!(!g.lt_compatible());
+
+    b.normalize_for_lt(true);
+    let g = b.build(WeightModel::Provided).unwrap();
+    assert!(g.lt_compatible());
+    // and LT algorithms run on the repaired graph
+    let params = Params::new(1, 0.3, 0.1).unwrap();
+    let ctx = SamplingContext::new(&g, Model::LinearThreshold).with_seed(4);
+    assert_eq!(Dssa::new(params).run(&ctx).unwrap().seeds.len(), 1);
+}
+
+/// Extreme ε/δ near their boundaries still terminate (via cap or
+/// conditions) on a small graph.
+#[test]
+fn boundary_epsilon_delta_terminate() {
+    let g = gen::erdos_renyi(60, 240, 3).build(WeightModel::WeightedCascade).unwrap();
+    // very lax: huge ε (close to limit), huge δ
+    let lax = Params::new(2, 0.6, 0.9).unwrap();
+    // strict-ish but tiny graph keeps it fast
+    let strict = Params::new(2, 0.05, 1e-6).unwrap();
+    for params in [lax, strict] {
+        let ctx = SamplingContext::new(&g, Model::IndependentCascade).with_seed(8);
+        let r = Dssa::new(params).run(&ctx).unwrap();
+        assert_eq!(r.seeds.len(), 2);
+    }
+}
+
+/// Binary graph round-trip composes with the full algorithm stack.
+#[test]
+fn io_roundtrip_then_run() {
+    let g = gen::rmat(500, 3000, gen::RmatParams::GRAPH500, 6)
+        .build(WeightModel::WeightedCascade)
+        .unwrap();
+    let mut buf = Vec::new();
+    io::write_binary(&g, &mut buf).unwrap();
+    let g2 = io::read_binary(&buf[..]).unwrap();
+
+    let params = Params::new(5, 0.3, 0.1).unwrap();
+    let r1 = Dssa::new(params)
+        .run(&SamplingContext::new(&g, Model::IndependentCascade).with_seed(3))
+        .unwrap();
+    let r2 = Dssa::new(params)
+        .run(&SamplingContext::new(&g2, Model::IndependentCascade).with_seed(3))
+        .unwrap();
+    assert_eq!(r1.seeds, r2.seeds, "round-tripped graph must behave identically");
+}
+
+/// Empty and zero-weight TVM audiences are rejected; a one-node audience
+/// works.
+#[test]
+fn tvm_weight_edge_cases() {
+    use stop_and_stare::tvm::{DssaTvm, TargetWeights};
+    let g = gen::erdos_renyi(50, 250, 2).build(WeightModel::WeightedCascade).unwrap();
+    assert!(TargetWeights::from_weights(vec![0.0; 50]).is_err());
+    assert!(TargetWeights::from_weights(vec![]).is_err());
+
+    let mut w = vec![0.0; 50];
+    w[17] = 2.5;
+    let audience = TargetWeights::from_weights(w).unwrap();
+    let params = Params::new(1, 0.3, 0.1).unwrap();
+    let r = DssaTvm::new(params)
+        .run(&g, Model::IndependentCascade, &audience, 4, 1)
+        .unwrap();
+    assert_eq!(r.seeds.len(), 1);
+    // the only mass is on node 17; influence can't exceed Γ = 2.5
+    assert!(r.influence_estimate <= 2.5 + 1e-9);
+}

@@ -1,0 +1,161 @@
+//! Tests pinning the paper's *qualitative claims* — the statements the
+//! evaluation section is built on. These are the repository's regression
+//! guard for "did we actually reproduce the paper".
+
+use stop_and_stare::baselines::{Imm, Tim};
+use stop_and_stare::core::bounds;
+use stop_and_stare::graph::{gen, WeightModel};
+use stop_and_stare::{Dssa, Graph, Model, Params, SamplingContext, SpreadEstimator, Ssa};
+
+fn social_graph(seed: u64) -> Graph {
+    gen::rmat(3000, 18_000, gen::RmatParams::GRAPH500, seed)
+        .build(WeightModel::WeightedCascade)
+        .unwrap()
+}
+
+/// Claim (§7.2.2/Table 3): D-SSA and SSA generate several times fewer RR
+/// sets than IMM at equal (ε, δ), and D-SSA ≤ SSA.
+#[test]
+fn sample_ordering_dssa_ssa_imm() {
+    let g = social_graph(1);
+    let params = Params::new(50, 0.2, 1.0 / 3000.0).unwrap();
+    for model in [Model::LinearThreshold, Model::IndependentCascade] {
+        let ctx = SamplingContext::new(&g, model).with_seed(3);
+        let d = Dssa::new(params).run(&ctx).unwrap();
+        let s = Ssa::new(params).run(&ctx).unwrap();
+        let i = Imm::new(params).run(&ctx).unwrap();
+        // "D-SSA performs at least as good as SSA" holds in aggregate,
+        // not pointwise — the doubling schedule quantizes pool sizes, so
+        // allow one checkpoint (2x) of slack per instance.
+        assert!(
+            d.rr_sets_total() <= 2 * s.rr_sets_total(),
+            "{model}: D-SSA {} > 2x SSA {}",
+            d.rr_sets_total(),
+            s.rr_sets_total()
+        );
+        assert!(
+            s.rr_sets_total() < i.rr_sets_main,
+            "{model}: SSA {} >= IMM {}",
+            s.rr_sets_total(),
+            i.rr_sets_main
+        );
+    }
+}
+
+/// Claim (§7.2.3): memory usage follows the same ordering — the pool is
+/// the footprint.
+#[test]
+fn memory_ordering_dssa_ssa_imm() {
+    let g = social_graph(2);
+    let params = Params::new(50, 0.2, 1.0 / 3000.0).unwrap();
+    let ctx = SamplingContext::new(&g, Model::LinearThreshold).with_seed(5);
+    let d = Dssa::new(params).run(&ctx).unwrap();
+    let s = Ssa::new(params).run(&ctx).unwrap();
+    let i = Imm::new(params).run(&ctx).unwrap();
+    assert!(d.peak_pool_bytes <= s.peak_pool_bytes * 2, "D-SSA vs SSA pools");
+    assert!(s.peak_pool_bytes < i.peak_pool_bytes, "SSA {} vs IMM {}", s.peak_pool_bytes, i.peak_pool_bytes);
+}
+
+/// Claim (§7.2.1): all methods return comparable seed-set quality — no
+/// significant difference in expected influence.
+#[test]
+fn quality_parity_across_methods() {
+    let g = social_graph(3);
+    let params = Params::new(20, 0.2, 1.0 / 3000.0).unwrap();
+    let ctx = SamplingContext::new(&g, Model::IndependentCascade).with_seed(7);
+    let est = SpreadEstimator::new(&g, Model::IndependentCascade);
+    let spreads: Vec<(&str, f64)> = vec![
+        ("D-SSA", est.estimate(&Dssa::new(params).run(&ctx).unwrap().seeds, 20_000, 9)),
+        ("SSA", est.estimate(&Ssa::new(params).run(&ctx).unwrap().seeds, 20_000, 9)),
+        ("IMM", est.estimate(&Imm::new(params).run(&ctx).unwrap().seeds, 20_000, 9)),
+        ("TIM+", est.estimate(&Tim::plus(params).run(&ctx).unwrap().seeds, 20_000, 9)),
+    ];
+    let max = spreads.iter().map(|&(_, s)| s).fold(f64::MIN, f64::max);
+    for (name, s) in &spreads {
+        assert!(
+            s / max > 0.9,
+            "{name} spread {s:.1} more than 10% below best {max:.1}: {spreads:?}"
+        );
+    }
+}
+
+/// Claim (§1, Fig 2): influence gain saturates — after a few thousand
+/// seeds (scaled: a few hundred) marginal influence becomes slim.
+#[test]
+fn influence_saturates_with_k() {
+    let g = social_graph(4);
+    let ctx = SamplingContext::new(&g, Model::LinearThreshold).with_seed(11);
+    let est = SpreadEstimator::new(&g, Model::LinearThreshold);
+    let mut prev = 0.0;
+    let mut gains = Vec::new();
+    for k in [10usize, 100, 400] {
+        let params = Params::new(k, 0.2, 1.0 / 3000.0).unwrap();
+        let r = Dssa::new(params).run(&ctx).unwrap();
+        let s = est.estimate(&r.seeds, 10_000, 13);
+        gains.push(s - prev);
+        prev = s;
+    }
+    // marginal gain per added seed must shrink sharply
+    let early_rate = gains[0] / 10.0;
+    let late_rate = gains[2] / 300.0;
+    assert!(
+        late_rate < early_rate * 0.5,
+        "no saturation: early {early_rate:.2}/seed, late {late_rate:.2}/seed"
+    );
+}
+
+/// Claim (§3.2/Theorem 1): the paper's worked thresholds are ordered —
+/// IMM's Eq. 13 improves on TIM's Eq. 12 for identical inputs, and the
+/// type-2 threshold D-SSA realizes is below both.
+#[test]
+fn threshold_hierarchy() {
+    let (n, k, eps, delta) = (100_000u64, 100u64, 0.1, 1e-5);
+    let opt = 5000.0;
+    let t = bounds::prior_thresholds(n, k, eps, delta, opt);
+    assert!(t.imm < t.tim);
+
+    // D-SSA's realized sample count on a real instance sits far below
+    // the prior thresholds computed with the *true* OPT of that instance.
+    let g = social_graph(5);
+    let params = Params::new(50, 0.2, 1.0 / 3000.0).unwrap();
+    let ctx = SamplingContext::new(&g, Model::LinearThreshold).with_seed(2);
+    let d = Dssa::new(params).run(&ctx).unwrap();
+    let opt_estimate = d.influence_estimate; // ≥ (1-1/e-ε)OPT
+    let prior = bounds::prior_thresholds(3000, 50, 0.2, 1.0 / 3000.0, opt_estimate);
+    assert!(
+        (d.rr_sets_total() as f64) < prior.tim,
+        "D-SSA used {} sets, TIM's threshold is {:.0}",
+        d.rr_sets_total(),
+        prior.tim
+    );
+}
+
+/// Claim (abstract): SSA/D-SSA keep the (1 − 1/e − ε) guarantee with
+/// probability 1 − δ. Empirical check: over repeated runs on a graph with
+/// known OPT, failures stay rare.
+#[test]
+fn guarantee_holds_empirically() {
+    // Star graph: OPT_1 = 1 + 30·0.5 = 16 exactly (IC closed form).
+    let mut b = stop_and_stare::GraphBuilder::new();
+    for v in 1..=30 {
+        b.add_edge(0, v, 0.5);
+    }
+    let g = b.build(WeightModel::Provided).unwrap();
+    let est = SpreadEstimator::new(&g, Model::IndependentCascade);
+    let opt = 16.0;
+    let (eps, delta) = (0.3, 0.2);
+    let params = Params::new(1, eps, delta).unwrap();
+    let mut failures = 0;
+    let runs = 40;
+    for seed in 0..runs {
+        let ctx = SamplingContext::new(&g, Model::IndependentCascade).with_seed(seed);
+        let r = Dssa::new(params).run(&ctx).unwrap();
+        let spread = est.estimate(&r.seeds, 20_000, 1000 + seed);
+        if spread < (1.0 - 1.0 / std::f64::consts::E - eps) * opt {
+            failures += 1;
+        }
+    }
+    // δ = 0.2 ⇒ expect ≤ 8 failures; in practice the only node with
+    // influence > 1 is the hub, so failures should be ~0
+    assert!(failures <= runs / 5, "{failures}/{runs} guarantee violations");
+}
