@@ -116,8 +116,7 @@ struct Oracle<'g, 'c> {
 
 impl<'g, 'c> Oracle<'g, 'c> {
     fn new(ctx: &'c SamplingContext<'g>, simulations: u64) -> Self {
-        let estimator =
-            SpreadEstimator::new(ctx.graph(), ctx.model()).with_threads(ctx.threads());
+        let estimator = SpreadEstimator::new(ctx.graph(), ctx.model()).with_threads(ctx.threads());
         Oracle { estimator, ctx, simulations, evals: 0 }
     }
 
@@ -216,7 +215,7 @@ impl CelfPlusPlus {
             } else {
                 mg2[u as usize] = g1;
             }
-            if cur_best.map_or(true, |(g, _)| g1 > g) {
+            if cur_best.is_none_or(|(g, _)| g1 > g) {
                 cur_best = Some((g1, u));
             }
             heap.push(Entry { gain: g1, node: u });
@@ -280,7 +279,7 @@ impl CelfPlusPlus {
                 g1
             };
             flag[u as usize] = seeds.len();
-            if cur_best_round.map_or(true, |(g, _)| gain > g) {
+            if cur_best_round.is_none_or(|(g, _)| gain > g) {
                 cur_best_round = Some((gain, u));
             }
             heap.push(Entry { gain, node: u });
@@ -316,7 +315,7 @@ pub fn monte_carlo_greedy(
             buf.extend_from_slice(&seeds);
             buf.push(u);
             let gain = oracle.sigma(&buf) - sigma_s;
-            if best.map_or(true, |(g, b)| (gain, u) > (g, b)) {
+            if best.is_none_or(|(g, b)| (gain, u) > (g, b)) {
                 best = Some((gain, u));
             }
         }
@@ -448,9 +447,6 @@ mod tests {
         let est = SpreadEstimator::new(&g, Model::IndependentCascade);
         let sc = est.estimate(&celf.seeds, 20_000, 42);
         let sd = est.estimate(&dssa.seeds, 20_000, 42);
-        assert!(
-            (sc - sd).abs() / sc.max(sd) < 0.15,
-            "CELF {sc:.1} vs D-SSA {sd:.1}"
-        );
+        assert!((sc - sd).abs() / sc.max(sd) < 0.15, "CELF {sc:.1} vs D-SSA {sd:.1}");
     }
 }

@@ -79,8 +79,12 @@ mod tests {
         let s_dssa = est.estimate(&dssa.seeds, 10_000, 3);
         let s_degree = est.estimate(&top_degree_seeds(&g, k), 10_000, 3);
         let s_random = est.estimate(&random_seeds(&g, k, 9), 10_000, 3);
+        // Empirical margin, not a theorem: with ε = 0.2 the guarantee is
+        // only (1 − 1/e − ε)·OPT, and on some generated instances
+        // top-degree is a near-optimal cover, so leave a few percent of
+        // slack for sampling noise.
         assert!(
-            s_dssa >= s_degree * 0.98,
+            s_dssa >= s_degree * 0.95,
             "D-SSA {s_dssa:.1} should not lose to degree {s_degree:.1}"
         );
         assert!(

@@ -63,9 +63,7 @@ impl Imm {
 
         // Phase 1: LB estimation.
         let eps_prime = 2f64.sqrt() * eps;
-        let lambda_prime = (2.0 + 2.0 * eps_prime / 3.0)
-            * (lc + l * ln_n + log2n.ln())
-            * nf
+        let lambda_prime = (2.0 + 2.0 * eps_prime / 3.0) * (lc + l * ln_n + log2n.ln()) * nf
             / (eps_prime * eps_prime);
 
         let mut pool = RrCollection::new(ctx.graph().num_nodes());
@@ -99,8 +97,7 @@ impl Imm {
         // Phase 1b: final pool size θ = λ*/LB.
         let alpha = (l * ln_n + 2f64.ln()).sqrt();
         let beta = (ONE_MINUS_INV_E * (lc + l * ln_n + 2f64.ln())).sqrt();
-        let lambda_star =
-            2.0 * nf * (ONE_MINUS_INV_E * alpha + beta).powi(2) / (eps * eps);
+        let lambda_star = 2.0 * nf * (ONE_MINUS_INV_E * alpha + beta).powi(2) / (eps * eps);
         let theta = (lambda_star / lb).ceil() as u64;
         let have = pool.len() as u64;
         if theta > have {
@@ -199,9 +196,6 @@ mod tests {
         let est = sns_diffusion::SpreadEstimator::new(&g, Model::IndependentCascade);
         let si = est.estimate(&imm.seeds, 20_000, 99);
         let sd = est.estimate(&dssa.seeds, 20_000, 99);
-        assert!(
-            (si - sd).abs() / si.max(sd) < 0.12,
-            "IMM spread {si:.1} vs D-SSA spread {sd:.1}"
-        );
+        assert!((si - sd).abs() / si.max(sd) < 0.12, "IMM spread {si:.1} vs D-SSA spread {sd:.1}");
     }
 }

@@ -108,8 +108,7 @@ impl Tim {
                 let eps_ref = 5.0 * (l * eps * eps / (k as f64 + l)).cbrt();
                 let eps_ref = eps_ref.min(0.9); // keep the estimator sane
                 let cover = max_coverage(&pool, k);
-                let lambda_ref =
-                    (2.0 + eps_ref) * l * nf * ln_n / (eps_ref * eps_ref);
+                let lambda_ref = (2.0 + eps_ref) * l * nf * ln_n / (eps_ref * eps_ref);
                 let theta_ref = (lambda_ref / kpt_star).ceil() as u64;
                 // Fresh, independent sets measure the greedy candidate.
                 let mut verifier = ctx.sampler(1);
@@ -124,15 +123,14 @@ impl Tim {
                         covered += 1;
                     }
                 }
-                let kpt_prime =
-                    gamma * covered as f64 / theta_ref.max(1) as f64 / (1.0 + eps_ref);
+                let kpt_prime = gamma * covered as f64 / theta_ref.max(1) as f64 / (1.0 + eps_ref);
                 kpt_star.max(kpt_prime)
             }
         };
 
         // ---- Main sampling: θ = λ/KPT ---------------------------------
-        let lambda = (8.0 + 2.0 * eps) * nf * (l * ln_n + ln_choose(n, k as u64) + 2f64.ln())
-            / (eps * eps);
+        let lambda =
+            (8.0 + 2.0 * eps) * nf * (l * ln_n + ln_choose(n, k as u64) + 2f64.ln()) / (eps * eps);
         let theta = (lambda / kpt).ceil() as u64;
         let have = pool.len() as u64;
         if theta > have {
@@ -180,7 +178,10 @@ mod tests {
         }
         let g = b.build(WeightModel::Provided).unwrap();
         let ctx = SamplingContext::new(&g, Model::IndependentCascade).with_seed(1);
-        for algo in [Tim::new(Params::new(1, 0.3, 0.1).unwrap()), Tim::plus(Params::new(1, 0.3, 0.1).unwrap())] {
+        for algo in [
+            Tim::new(Params::new(1, 0.3, 0.1).unwrap()),
+            Tim::plus(Params::new(1, 0.3, 0.1).unwrap()),
+        ] {
             let r = algo.run(&ctx).unwrap();
             assert_eq!(r.seeds, vec![0], "{:?}", algo.variant());
         }

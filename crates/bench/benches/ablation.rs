@@ -52,13 +52,11 @@ fn bench_root_sampling(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(3));
     group.warm_up_time(std::time::Duration::from_secs(1));
     group.sample_size(20);
-    for (name, roots) in [
-        ("uniform", RootDist::Uniform),
-        ("alias", RootDist::weighted(&weights).unwrap()),
-    ] {
+    for (name, roots) in
+        [("uniform", RootDist::Uniform), ("alias", RootDist::weighted(&weights).unwrap())]
+    {
         group.bench_with_input(BenchmarkId::from_parameter(name), &roots, |b, roots| {
-            let mut sampler =
-                RrSampler::with_config(&g, Model::LinearThreshold, roots.clone(), 9);
+            let mut sampler = RrSampler::with_config(&g, Model::LinearThreshold, roots.clone(), 9);
             let mut rr = Vec::new();
             let mut index = 0u64;
             b.iter(|| {
@@ -99,10 +97,5 @@ fn bench_parallel_growth(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_ssa_epsilon_presets,
-    bench_root_sampling,
-    bench_parallel_growth
-);
+criterion_group!(benches, bench_ssa_epsilon_presets, bench_root_sampling, bench_parallel_growth);
 criterion_main!(benches);

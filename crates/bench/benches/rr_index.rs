@@ -1,0 +1,199 @@
+//! Inverted-index ablation: two-tier (sealed CSR + pending chains) vs the
+//! pre-refactor per-node `Vec<Vec<u32>>` layout.
+//!
+//! Measures (a) index **build** throughput — the parallel counting-sort
+//! seal at 1/2/4 worker threads against the per-node push loop the old
+//! merge path used — and (b) `sets_containing_in` **lookup** latency over
+//! a fully sealed pool, a mixed sealed+pending pool, and the old layout.
+//! Both tiers of the new index are exercised.
+//!
+//! Besides the human-readable criterion output, results are written as
+//! machine-readable JSON to `BENCH_rr_index.json` in the workspace root
+//! (schema: `{"benchmarks": [{"name", "mean_ns", "min_ns", "max_ns",
+//! "iters"}]}`).
+
+use std::time::Duration;
+
+use criterion::{BenchmarkId, Criterion};
+
+use sns_diffusion::{Model, RootDist, RrSampler};
+use sns_graph::{gen, NodeId, WeightModel};
+use sns_rrset::RrCollection;
+
+const NODES: u32 = 100_000;
+const SETS: u64 = 60_000;
+/// Sets appended after the bulk load to populate the pending tier in the
+/// "mixed" lookup scenario (kept under the compaction threshold).
+const PENDING_SETS: u64 = 2_000;
+
+fn build_pool() -> RrCollection {
+    let g = gen::barabasi_albert(NODES, 4, gen::Orientation::RandomSingle, 7)
+        .build(WeightModel::WeightedCascade)
+        .unwrap();
+    let sampler = RrSampler::with_config(&g, Model::IndependentCascade, RootDist::Uniform, 3);
+    let mut pool = RrCollection::new(NODES);
+    pool.extend_parallel(&sampler, 0, SETS, 8);
+    pool
+}
+
+/// The pre-refactor layout, rebuilt here as the ablation baseline.
+fn build_per_node_vecs(pool: &RrCollection) -> Vec<Vec<u32>> {
+    let mut node_to_sets: Vec<Vec<u32>> = vec![Vec::new(); pool.num_nodes() as usize];
+    for id in 0..pool.len() {
+        for &v in pool.set(id) {
+            node_to_sets[v as usize].push(id as u32);
+        }
+    }
+    node_to_sets
+}
+
+fn bench_index_build(c: &mut Criterion, pool: &RrCollection) {
+    let mut group = c.benchmark_group("rr_index_build_60k_sets");
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_secs(1));
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("two-tier-seal", threads), &threads, |b, &t| {
+            let mut p = pool.clone();
+            b.iter(|| {
+                p.seal_parallel(t);
+                p.sealed_sets()
+            })
+        });
+    }
+    group.bench_with_input(BenchmarkId::new("per-node-vecs", 1), pool, |b, pool| {
+        b.iter(|| build_per_node_vecs(pool).len())
+    });
+    group.finish();
+}
+
+/// One deterministic pseudo-random lookup workload: `sets_containing_in`
+/// over a sliding id window for a stride of nodes, summing list lengths.
+fn lookup_workload(pool: &RrCollection) -> u64 {
+    let total = pool.len() as u32;
+    let mut acc = 0u64;
+    let mut v: NodeId = 1;
+    for i in 0..10_000u32 {
+        let lo = (i.wrapping_mul(2654435761)) % total.saturating_sub(1).max(1);
+        let hi = (lo + total / 4).min(total);
+        acc += pool.sets_containing_in(v, lo..hi).len() as u64;
+        v = (v.wrapping_mul(48271)) % NODES;
+    }
+    acc
+}
+
+fn lookup_workload_old(index: &[Vec<u32>], total: u32) -> u64 {
+    let mut acc = 0u64;
+    let mut v: NodeId = 1;
+    for i in 0..10_000u32 {
+        let lo = (i.wrapping_mul(2654435761)) % total.saturating_sub(1).max(1);
+        let hi = (lo + total / 4).min(total);
+        let list = &index[v as usize];
+        let a = list.partition_point(|&id| id < lo);
+        let b = list.partition_point(|&id| id < hi);
+        acc += (b - a) as u64;
+        v = (v.wrapping_mul(48271)) % NODES;
+    }
+    acc
+}
+
+fn bench_lookup(c: &mut Criterion, pool: &RrCollection) {
+    // Fully sealed pool.
+    let sealed = pool.clone();
+    assert_eq!(sealed.pending_sets(), 0);
+
+    // Mixed pool: same sets plus a pending chain tail.
+    let g = gen::barabasi_albert(NODES, 4, gen::Orientation::RandomSingle, 7)
+        .build(WeightModel::WeightedCascade)
+        .unwrap();
+    let sampler = RrSampler::with_config(&g, Model::IndependentCascade, RootDist::Uniform, 3);
+    let mut mixed = pool.clone();
+    {
+        let mut s = sampler.clone();
+        let mut rr = Vec::new();
+        for i in 0..PENDING_SETS {
+            let meta = s.sample(SETS + i, &mut rr);
+            mixed.push(&rr, meta);
+        }
+    }
+    assert!(mixed.pending_sets() > 0, "mixed scenario must exercise the pending tier");
+
+    let old = build_per_node_vecs(&sealed);
+
+    let mut group = c.benchmark_group("rr_index_lookup_10k_queries");
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_secs(1));
+    group.sample_size(20);
+    group.bench_with_input(BenchmarkId::from_parameter("two-tier-sealed"), &sealed, |b, p| {
+        b.iter(|| lookup_workload(p))
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("two-tier-mixed"), &mixed, |b, p| {
+        b.iter(|| lookup_workload(p))
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("per-node-vecs"), &old, |b, old| {
+        b.iter(|| lookup_workload_old(old, SETS as u32))
+    });
+    group.finish();
+
+    // Memory footprint comparison is deterministic — report it once.
+    let old_bytes: u64 = old
+        .iter()
+        .map(|v| {
+            (v.capacity() * std::mem::size_of::<u32>() + std::mem::size_of::<Vec<u32>>()) as u64
+        })
+        .sum();
+    println!(
+        "index memory: two-tier {} B vs per-node-vecs {} B ({:.2}x)",
+        sealed.index_memory_bytes(),
+        old_bytes,
+        old_bytes as f64 / sealed.index_memory_bytes() as f64
+    );
+}
+
+fn write_json(c: &Criterion) {
+    let manifest = env!("CARGO_MANIFEST_DIR");
+    let path = std::path::Path::new(manifest)
+        .ancestors()
+        .nth(2)
+        .expect("workspace root exists")
+        .join("BENCH_rr_index.json");
+    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    for (i, r) in c.results.iter().enumerate() {
+        let sep = if i + 1 == c.results.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"mean_ns\": {:.0}, \"min_ns\": {:.0}, \"max_ns\": {:.0}, \"iters\": {}}}{}\n",
+            r.name, r.mean_ns, r.min_ns, r.max_ns, r.iters, sep
+        ));
+    }
+    let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    out.push_str(&format!("  ],\n  \"host_cores\": {cores}\n}}\n"));
+    std::fs::write(&path, out).expect("write BENCH_rr_index.json");
+    println!("wrote {}", path.display());
+}
+
+fn main() {
+    // `cargo test` passes --test to harness=false targets it runs; stay
+    // quick there.
+    if std::env::args().any(|a| a == "--test") {
+        println!("rr_index: --test run, skipping measurements");
+        return;
+    }
+    let mut c = Criterion::default();
+    let pool = build_pool();
+    let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    println!(
+        "host cores: {cores} (multi-thread seal variants only help beyond 1 core; \
+         each worker streams the whole arena, so expect ~linear overhead otherwise)"
+    );
+    println!(
+        "pool: {} sets, {} entries, sealed {} / pending {}, index {} B",
+        pool.len(),
+        pool.total_nodes(),
+        pool.sealed_sets(),
+        pool.pending_sets(),
+        pool.index_memory_bytes()
+    );
+    bench_index_build(&mut c, &pool);
+    bench_lookup(&mut c, &pool);
+    write_json(&c);
+}

@@ -34,24 +34,20 @@ fn bench_rr_sampling(c: &mut Criterion) {
     group.sample_size(20);
     for (name, g) in graphs() {
         for model in [Model::LinearThreshold, Model::IndependentCascade] {
-            group.bench_with_input(
-                BenchmarkId::new(model.short_name(), name),
-                &g,
-                |b, g| {
-                    let mut sampler = RrSampler::new(g, model);
-                    let mut rr = Vec::new();
-                    let mut index = 0u64;
-                    b.iter(|| {
-                        let mut total = 0usize;
-                        for _ in 0..1000 {
-                            sampler.sample(index, &mut rr);
-                            index += 1;
-                            total += rr.len();
-                        }
-                        total
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(model.short_name(), name), &g, |b, g| {
+                let mut sampler = RrSampler::new(g, model);
+                let mut rr = Vec::new();
+                let mut index = 0u64;
+                b.iter(|| {
+                    let mut total = 0usize;
+                    for _ in 0..1000 {
+                        sampler.sample(index, &mut rr);
+                        index += 1;
+                        total += rr.len();
+                    }
+                    total
+                });
+            });
         }
     }
     group.finish();

@@ -17,22 +17,14 @@ fn bench_spread(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_secs(1));
     group.sample_size(10);
     for model in [Model::LinearThreshold, Model::IndependentCascade] {
-        group.bench_with_input(
-            BenchmarkId::new("seq", model.short_name()),
-            &model,
-            |b, &m| {
-                let est = SpreadEstimator::new(&g, m).with_threads(1);
-                b.iter(|| est.estimate(&seeds, 1000, 7))
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("par", model.short_name()),
-            &model,
-            |b, &m| {
-                let est = SpreadEstimator::new(&g, m);
-                b.iter(|| est.estimate(&seeds, 1000, 7))
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("seq", model.short_name()), &model, |b, &m| {
+            let est = SpreadEstimator::new(&g, m).with_threads(1);
+            b.iter(|| est.estimate(&seeds, 1000, 7))
+        });
+        group.bench_with_input(BenchmarkId::new("par", model.short_name()), &model, |b, &m| {
+            let est = SpreadEstimator::new(&g, m);
+            b.iter(|| est.estimate(&seeds, 1000, 7))
+        });
     }
     group.finish();
 }

@@ -95,9 +95,8 @@ impl Config {
             _ => Model::LinearThreshold,
         };
         while let Some(flag) = args.next() {
-            let mut value_for = |flag: &str| {
-                args.next().ok_or_else(|| format!("flag {flag} needs a value"))
-            };
+            let mut value_for =
+                |flag: &str| args.next().ok_or_else(|| format!("flag {flag} needs a value"));
             match flag.as_str() {
                 "--quick" => {
                     cfg.quick = true;
@@ -111,9 +110,8 @@ impl Config {
                     };
                 }
                 "--scale" => {
-                    cfg.scale = value_for("--scale")?
-                        .parse()
-                        .map_err(|e| format!("--scale: {e}"))?;
+                    cfg.scale =
+                        value_for("--scale")?.parse().map_err(|e| format!("--scale: {e}"))?;
                     if !(cfg.scale > 0.0 && cfg.scale <= 1.0) {
                         return Err("--scale must be in (0, 1]".into());
                     }
@@ -122,9 +120,8 @@ impl Config {
                     cfg.seed = value_for("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
                 }
                 "--threads" => {
-                    cfg.threads = value_for("--threads")?
-                        .parse()
-                        .map_err(|e| format!("--threads: {e}"))?;
+                    cfg.threads =
+                        value_for("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?;
                     cfg.threads = cfg.threads.max(1);
                 }
                 "--sims" => {

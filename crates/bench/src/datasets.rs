@@ -40,9 +40,8 @@ fn effective_scale(spec: &DatasetSpec, cfg: &Config) -> f64 {
 /// Generates one stand-in.
 pub fn prepare(spec: &'static DatasetSpec, cfg: &Config) -> PreparedDataset {
     let scale = effective_scale(spec, cfg);
-    let graph = spec
-        .generate(scale, cfg.seed)
-        .expect("dataset generation cannot fail for valid scales");
+    let graph =
+        spec.generate(scale, cfg.seed).expect("dataset generation cannot fail for valid scales");
     PreparedDataset { spec, scale, graph }
 }
 
@@ -76,11 +75,8 @@ pub fn tvm_dataset(cfg: &Config) -> PreparedDataset {
 
 /// The k grid of the figure experiments (paper: 1 … 20000).
 pub fn k_grid(cfg: &Config, n: u32) -> Vec<usize> {
-    let full: &[usize] = if cfg.quick {
-        &[1, 100, 1000]
-    } else {
-        &[1, 100, 500, 1000, 2000, 5000, 10_000, 20_000]
-    };
+    let full: &[usize] =
+        if cfg.quick { &[1, 100, 1000] } else { &[1, 100, 500, 1000, 2000, 5000, 10_000, 20_000] };
     full.iter().copied().filter(|&k| k < n as usize).collect()
 }
 

@@ -62,5 +62,7 @@ fn banner(cfg: &Config) {
             String::new()
         },
     );
-    println!("# datasets are R-MAT stand-ins (DESIGN.md §4); compare shapes, not absolute values\n");
+    println!(
+        "# datasets are R-MAT stand-ins (DESIGN.md §4); compare shapes, not absolute values\n"
+    );
 }

@@ -22,10 +22,8 @@ pub fn run_table3(cfg: &Config) {
         }
     }
     let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
-    let mut time_table =
-        Table::new("Table 3a: running time under LT model", &header_refs);
-    let mut sets_table =
-        Table::new("Table 3b: number of RR sets under LT model", &header_refs);
+    let mut time_table = Table::new("Table 3a: running time under LT model", &header_refs);
+    let mut sets_table = Table::new("Table 3b: number of RR sets under LT model", &header_refs);
 
     for dataset in table3_datasets(cfg) {
         let n = dataset.graph.num_nodes();

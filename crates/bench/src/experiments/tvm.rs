@@ -41,7 +41,12 @@ pub fn run_fig8(cfg: &Config) {
         let weights = TargetWeights::from_topic(&dataset.graph, topic, cfg.seed + i as u64)
             .expect("topic synthesis cannot fail on non-empty graphs");
         let mut table = Table::new(
-            format!("Fig 8{} : TVM running time, {} on {}", (b'a' + i as u8) as char, topic.name, dataset.label()),
+            format!(
+                "Fig 8{} : TVM running time, {} on {}",
+                (b'a' + i as u8) as char,
+                topic.name,
+                dataset.label()
+            ),
             &["k", "D-SSA", "SSA", "KB-TIM", "D-SSA #RR", "SSA #RR", "KB-TIM #RR"],
         );
         for &k in &ks {
@@ -101,4 +106,3 @@ fn topic_sanity(graph: &sns_graph::Graph, cfg: &Config) -> Option<()> {
     );
     Some(())
 }
-

@@ -20,7 +20,10 @@ pub const ONE_MINUS_INV_E: f64 = 1.0 - 0.36787944117144233; // 1 − e⁻¹
 /// Panics if `eps <= 0` or `delta` is not in `(0, 1)`.
 pub fn upsilon(eps: f64, delta: f64) -> f64 {
     assert!(eps > 0.0, "upsilon needs eps > 0, got {eps}");
-    assert!((0.0..1.0).contains(&delta) && delta > 0.0, "upsilon needs delta in (0,1), got {delta}");
+    assert!(
+        (0.0..1.0).contains(&delta) && delta > 0.0,
+        "upsilon needs delta in (0,1), got {delta}"
+    );
     (2.0 + 2.0 * eps / 3.0) * (1.0 / delta).ln() / (eps * eps)
 }
 
@@ -177,8 +180,9 @@ mod tests {
     fn ln_choose_matches_ln_gamma() {
         for (n, k) in [(100u64, 10u64), (1000, 50), (50_000, 500), (1_000_000, 20_000)] {
             let direct = ln_choose(n, k);
-            let via_gamma =
-                ln_gamma(n as f64 + 1.0) - ln_gamma(k as f64 + 1.0) - ln_gamma((n - k) as f64 + 1.0);
+            let via_gamma = ln_gamma(n as f64 + 1.0)
+                - ln_gamma(k as f64 + 1.0)
+                - ln_gamma((n - k) as f64 + 1.0);
             assert!(
                 (direct - via_gamma).abs() / direct.abs().max(1.0) < 1e-9,
                 "C({n},{k}): {direct} vs {via_gamma}"

@@ -109,9 +109,8 @@ impl Dssa {
         let mut last = None;
 
         for t in 1..=t_max {
-            let half = lambda
-                .checked_shl(t - 1)
-                .expect("pool target overflow: Nmax bounds preclude this");
+            let half =
+                lambda.checked_shl(t - 1).expect("pool target overflow: Nmax bounds preclude this");
             let full = 2 * half;
             let have = pool.len() as u64;
             if full > have {

@@ -31,9 +31,7 @@ impl Params {
             )));
         }
         if !(delta > 0.0 && delta < 1.0) {
-            return Err(CoreError::InvalidParams(format!(
-                "delta must be in (0, 1), got {delta}"
-            )));
+            return Err(CoreError::InvalidParams(format!("delta must be in (0, 1), got {delta}")));
         }
         Ok(Params { k, epsilon, delta })
     }
@@ -92,7 +90,10 @@ impl SsaEpsilons {
     /// Checks domain and the Eq. 18 constraint against the target ε.
     pub fn validate(&self, epsilon: f64) -> Result<(), CoreError> {
         if !(self.e1 > 0.0 && self.e1.is_finite()) {
-            return Err(CoreError::InvalidParams(format!("epsilon_1 must be in (0, inf), got {}", self.e1)));
+            return Err(CoreError::InvalidParams(format!(
+                "epsilon_1 must be in (0, inf), got {}",
+                self.e1
+            )));
         }
         for (name, v) in [("epsilon_2", self.e2), ("epsilon_3", self.e3)] {
             if !(v > 0.0 && v < 1.0) {

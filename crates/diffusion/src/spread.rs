@@ -88,12 +88,16 @@ mod tests {
     #[test]
     fn sequential_and_parallel_agree_exactly() {
         let g = fanout(0.5, 50);
-        let seq = SpreadEstimator::new(&g, Model::IndependentCascade)
-            .with_threads(1)
-            .estimate(&[0], 2000, 7);
-        let par = SpreadEstimator::new(&g, Model::IndependentCascade)
-            .with_threads(8)
-            .estimate(&[0], 2000, 7);
+        let seq = SpreadEstimator::new(&g, Model::IndependentCascade).with_threads(1).estimate(
+            &[0],
+            2000,
+            7,
+        );
+        let par = SpreadEstimator::new(&g, Model::IndependentCascade).with_threads(8).estimate(
+            &[0],
+            2000,
+            7,
+        );
         assert_eq!(seq, par, "per-index RNG must make threading invisible");
     }
 

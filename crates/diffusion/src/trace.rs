@@ -111,11 +111,7 @@ pub fn trace_cascade<R: RngCore>(
                 };
                 if fired {
                     active[v as usize] = true;
-                    activations.push(Activation {
-                        node: v,
-                        activated_by: Some(u),
-                        round: rounds,
-                    });
+                    activations.push(Activation { node: v, activated_by: Some(u), round: rounds });
                     next.push(v);
                 }
             }
@@ -153,10 +149,7 @@ mod tests {
             assert_eq!(t.size(), 4, "{model}");
             assert_eq!(t.rounds, 3, "{model}");
             assert_eq!(t.activations[0], Activation { node: 0, activated_by: None, round: 0 });
-            assert_eq!(
-                t.activations[1],
-                Activation { node: 1, activated_by: Some(0), round: 1 }
-            );
+            assert_eq!(t.activations[1], Activation { node: 1, activated_by: Some(0), round: 1 });
             assert_eq!(t.activations[3].round, 3);
         }
     }

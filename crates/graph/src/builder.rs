@@ -319,17 +319,11 @@ mod tests {
     fn provided_requires_valid_weights() {
         let mut b = GraphBuilder::new();
         b.add_edge(0, 1, 1.5);
-        assert!(matches!(
-            b.build(WeightModel::Provided),
-            Err(GraphError::InvalidWeight { .. })
-        ));
+        assert!(matches!(b.build(WeightModel::Provided), Err(GraphError::InvalidWeight { .. })));
 
         let mut b = GraphBuilder::new();
         b.add_arc(0, 1); // NaN weight sentinel
-        assert!(matches!(
-            b.build(WeightModel::Provided),
-            Err(GraphError::InvalidWeight { .. })
-        ));
+        assert!(matches!(b.build(WeightModel::Provided), Err(GraphError::InvalidWeight { .. })));
     }
 
     #[test]
@@ -398,9 +392,8 @@ mod tests {
         }
         // forward and reverse views agree on the arc set
         let mut fwd: Vec<(u32, u32)> = g.arcs().map(|(u, v, _)| (u, v)).collect();
-        let mut rev: Vec<(u32, u32)> = (0..4)
-            .flat_map(|v| g.in_neighbors(v).iter().map(move |&u| (u, v)))
-            .collect();
+        let mut rev: Vec<(u32, u32)> =
+            (0..4).flat_map(|v| g.in_neighbors(v).iter().map(move |&u| (u, v))).collect();
         fwd.sort_unstable();
         rev.sort_unstable();
         assert_eq!(fwd, rev);

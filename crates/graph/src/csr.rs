@@ -148,19 +148,13 @@ impl Graph {
     /// Iterator over `(target, weight)` pairs of the out-edges of `v`.
     #[inline]
     pub fn out_edges(&self, v: NodeId) -> OutEdgeIter<'_> {
-        OutEdgeIter {
-            targets: self.out_neighbors(v).iter(),
-            weights: self.out_weights(v).iter(),
-        }
+        OutEdgeIter { targets: self.out_neighbors(v).iter(), weights: self.out_weights(v).iter() }
     }
 
     /// Iterator over `(source, weight)` pairs of the in-edges of `v`.
     #[inline]
     pub fn in_edges(&self, v: NodeId) -> InEdgeIter<'_> {
-        InEdgeIter {
-            sources: self.in_neighbors(v).iter(),
-            weights: self.in_weights(v).iter(),
-        }
+        InEdgeIter { sources: self.in_neighbors(v).iter(), weights: self.in_weights(v).iter() }
     }
 
     /// Total incoming weight `Σ_u w(u, v)` of node `v`.
@@ -214,25 +208,21 @@ impl Graph {
         use std::mem::size_of;
         ((self.out_offsets.len() + self.in_offsets.len()) * size_of::<u64>()
             + (self.out_targets.len() + self.in_sources.len()) * size_of::<NodeId>()
-            + (self.out_weights.len() + self.in_weights.len() + self.in_cum.len()) * size_of::<f32>()
+            + (self.out_weights.len() + self.in_weights.len() + self.in_cum.len())
+                * size_of::<f32>()
             + self.in_weight_sum.len() * size_of::<f32>()) as u64
     }
 
     /// Iterator over all arcs as `(from, to, weight)`, in CSR (source)
     /// order. Intended for export and tests, not hot paths.
     pub fn arcs(&self) -> impl Iterator<Item = (NodeId, NodeId, f32)> + '_ {
-        (0..self.n).flat_map(move |u| {
-            self.out_edges(u).map(move |(v, w)| (u, v, w))
-        })
+        (0..self.n).flat_map(move |u| self.out_edges(u).map(move |(v, w)| (u, v, w)))
     }
 }
 
 impl std::fmt::Debug for Graph {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Graph")
-            .field("nodes", &self.n)
-            .field("arcs", &self.num_arcs())
-            .finish()
+        f.debug_struct("Graph").field("nodes", &self.n).field("arcs", &self.num_arcs()).finish()
     }
 }
 

@@ -26,12 +26,7 @@ use crate::{GraphBuilder, NodeId};
 ///     .unwrap();
 /// assert_eq!(g.num_nodes(), 100);
 /// ```
-pub fn barabasi_albert(
-    n: u32,
-    m_attach: u32,
-    orientation: Orientation,
-    seed: u64,
-) -> GraphBuilder {
+pub fn barabasi_albert(n: u32, m_attach: u32, orientation: Orientation, seed: u64) -> GraphBuilder {
     assert!(m_attach >= 1, "barabasi_albert needs m_attach >= 1");
     assert!(
         n > m_attach,
@@ -120,10 +115,7 @@ mod tests {
         // robust check for preferential attachment.
         let max = degrees[0];
         let median = degrees[degrees.len() / 2];
-        assert!(
-            max >= median * 8,
-            "expected hub formation, max = {max}, median = {median}"
-        );
+        assert!(max >= median * 8, "expected hub formation, max = {max}, median = {median}");
     }
 
     #[test]

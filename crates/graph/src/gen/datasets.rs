@@ -121,9 +121,8 @@ pub const FRIENDSTER: DatasetSpec = DatasetSpec {
 };
 
 /// All eight Table 2 datasets, in the paper's order.
-pub const ALL: [&DatasetSpec; 8] = [
-    &NETHEPT, &NETPHY, &ENRON, &EPINIONS, &DBLP, &ORKUT, &TWITTER, &FRIENDSTER,
-];
+pub const ALL: [&DatasetSpec; 8] =
+    [&NETHEPT, &NETPHY, &ENRON, &EPINIONS, &DBLP, &ORKUT, &TWITTER, &FRIENDSTER];
 
 /// Case-insensitive lookup by paper name.
 pub fn by_name(name: &str) -> Option<&'static DatasetSpec> {

@@ -34,9 +34,8 @@ pub fn erdos_renyi(n: u32, num_arcs: u64, seed: u64) -> GraphBuilder {
     // Dense fallback: when m is close to max_arcs, enumerate-and-shuffle
     // beats rejection.
     if m * 2 > max_arcs {
-        let mut all: Vec<(u32, u32)> = (0..n)
-            .flat_map(|u| (0..n).filter(move |&v| v != u).map(move |v| (u, v)))
-            .collect();
+        let mut all: Vec<(u32, u32)> =
+            (0..n).flat_map(|u| (0..n).filter(move |&v| v != u).map(move |v| (u, v))).collect();
         // Fisher–Yates partial shuffle of the first m slots.
         for i in 0..m as usize {
             let j = rng.gen_range(i..all.len());

@@ -57,9 +57,7 @@ pub fn forest_fire(n: u32, forward_prob: f64, backward_ratio: f64, seed: u64) ->
                 }
             }
             for &s in &in_adj[u as usize] {
-                if burned[s as usize] != epoch
-                    && rng.gen::<f64>() < forward_prob * backward_ratio
-                {
+                if burned[s as usize] != epoch && rng.gen::<f64>() < forward_prob * backward_ratio {
                     to_visit.push(s);
                 }
             }
@@ -87,9 +85,7 @@ mod tests {
 
     #[test]
     fn generates_connected_citation_structure() {
-        let g = forest_fire(2000, 0.35, 0.3, 7)
-            .build(WeightModel::WeightedCascade)
-            .unwrap();
+        let g = forest_fire(2000, 0.35, 0.3, 7).build(WeightModel::WeightedCascade).unwrap();
         assert_eq!(g.num_nodes(), 2000);
         // every node (except 0) cites at least one earlier node
         for v in 1..2000 {

@@ -36,10 +36,7 @@ impl RmatParams {
 
     fn validate(&self) {
         let sum = self.a + self.b + self.c + self.d;
-        assert!(
-            (sum - 1.0).abs() < 1e-9,
-            "R-MAT quadrant probabilities must sum to 1, got {sum}"
-        );
+        assert!((sum - 1.0).abs() < 1e-9, "R-MAT quadrant probabilities must sum to 1, got {sum}");
         assert!(
             self.a >= 0.0 && self.b >= 0.0 && self.c >= 0.0 && self.d >= 0.0,
             "R-MAT quadrant probabilities must be non-negative"
@@ -123,9 +120,8 @@ mod tests {
     #[test]
     fn respects_node_bound() {
         // 1000 is not a power of two; rejection must keep ids < 1000.
-        let g = rmat(1000, 3000, RmatParams::GRAPH500, 1)
-            .build(WeightModel::Constant(0.1))
-            .unwrap();
+        let g =
+            rmat(1000, 3000, RmatParams::GRAPH500, 1).build(WeightModel::Constant(0.1)).unwrap();
         assert_eq!(g.num_nodes(), 1000);
         for (u, v, _) in g.arcs() {
             assert!(u < 1000 && v < 1000 && u != v);
@@ -134,9 +130,8 @@ mod tests {
 
     #[test]
     fn skewed_parameters_make_hubs() {
-        let g = rmat(4096, 40_000, RmatParams::GRAPH500, 3)
-            .build(WeightModel::Constant(0.1))
-            .unwrap();
+        let g =
+            rmat(4096, 40_000, RmatParams::GRAPH500, 3).build(WeightModel::Constant(0.1)).unwrap();
         let mut in_degrees: Vec<u32> = (0..g.num_nodes()).map(|v| g.in_degree(v)).collect();
         in_degrees.sort_unstable_by(|a, b| b.cmp(a));
         let top1pct: u64 = in_degrees[..41].iter().map(|&d| u64::from(d)).sum();

@@ -28,7 +28,7 @@ pub fn watts_strogatz(
     orientation: Orientation,
     seed: u64,
 ) -> GraphBuilder {
-    assert!(k % 2 == 0, "watts_strogatz needs even k");
+    assert!(k.is_multiple_of(2), "watts_strogatz needs even k");
     assert!(k >= 2 && k < n, "watts_strogatz needs 2 <= k < n");
     assert!((0.0..=1.0).contains(&beta), "beta must be in [0, 1]");
 

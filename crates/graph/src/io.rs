@@ -61,10 +61,7 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> Result<GraphBuilder, GraphError>
 
 fn parse_node(tok: Option<&str>, line: usize, msg: &str) -> Result<u32, GraphError> {
     let tok = tok.ok_or_else(|| GraphError::Parse { line, message: msg.into() })?;
-    tok.parse().map_err(|_| GraphError::Parse {
-        line,
-        message: format!("invalid node id {tok:?}"),
-    })
+    tok.parse().map_err(|_| GraphError::Parse { line, message: format!("invalid node id {tok:?}") })
 }
 
 /// Reads an edge list from a file path.
@@ -180,10 +177,8 @@ mod tests {
     #[test]
     fn parses_unweighted() {
         let text = "0 1\n1 2\n2 0\n";
-        let g = read_edge_list(text.as_bytes())
-            .unwrap()
-            .build(WeightModel::WeightedCascade)
-            .unwrap();
+        let g =
+            read_edge_list(text.as_bytes()).unwrap().build(WeightModel::WeightedCascade).unwrap();
         assert_eq!(g.num_arcs(), 3);
     }
 

@@ -18,8 +18,7 @@ pub fn transpose(g: &Graph) -> Graph {
     for (u, v, w) in g.arcs() {
         b.add_edge(v, u, w);
     }
-    b.build(WeightModel::Provided)
-        .expect("transposing a valid graph cannot fail")
+    b.build(WeightModel::Provided).expect("transposing a valid graph cannot fail")
 }
 
 /// Extracts the subgraph induced by `nodes`, relabelling them densely to

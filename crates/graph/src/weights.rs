@@ -49,11 +49,7 @@ impl WeightModel {
     /// `in_degree[v]` must hold the in-degree of each node in the final
     /// edge list. Weights for `Provided` are passed through unchanged (the
     /// builder has already validated them).
-    pub(crate) fn assign(
-        &self,
-        edges: &mut [(NodeId, NodeId, f32)],
-        in_degree: &[u32],
-    ) {
+    pub(crate) fn assign(&self, edges: &mut [(NodeId, NodeId, f32)], in_degree: &[u32]) {
         match *self {
             WeightModel::Provided => {}
             WeightModel::WeightedCascade => {
@@ -100,7 +96,7 @@ impl WeightModel {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
+
     use crate::{GraphBuilder, WeightModel};
 
     #[test]
@@ -154,9 +150,7 @@ mod tests {
         for i in 0..100u32 {
             b.add_arc(i, (i + 7) % 100);
         }
-        let g = b
-            .build(WeightModel::UniformRandom { lo: 0.2, hi: 0.4, seed: 3 })
-            .unwrap();
+        let g = b.build(WeightModel::UniformRandom { lo: 0.2, hi: 0.4, seed: 3 }).unwrap();
         for (_, _, w) in g.arcs() {
             assert!((0.2..=0.4).contains(&w));
         }

@@ -35,17 +35,18 @@ pub fn max_coverage_bucket(rc: &RrCollection, k: usize) -> CoverageResult {
         buckets[g].push(v);
     }
 
-    let move_node = |buckets: &mut Vec<Vec<NodeId>>, pos: &mut Vec<u32>, v: NodeId, from: usize, to: usize| {
-        let idx = pos[v as usize] as usize;
-        buckets[from].swap_remove(idx);
-        if idx < buckets[from].len() {
-            // swap_remove relocated the former tail into idx
-            let moved = buckets[from][idx];
-            pos[moved as usize] = idx as u32;
-        }
-        pos[v as usize] = buckets[to].len() as u32;
-        buckets[to].push(v);
-    };
+    let move_node =
+        |buckets: &mut Vec<Vec<NodeId>>, pos: &mut Vec<u32>, v: NodeId, from: usize, to: usize| {
+            let idx = pos[v as usize] as usize;
+            buckets[from].swap_remove(idx);
+            if idx < buckets[from].len() {
+                // swap_remove relocated the former tail into idx
+                let moved = buckets[from][idx];
+                pos[moved as usize] = idx as u32;
+            }
+            pos[v as usize] = buckets[to].len() as u32;
+            buckets[to].push(v);
+        };
 
     let mut covered_mark = vec![false; rc.len()];
     let mut selected = vec![false; n as usize];
@@ -70,7 +71,7 @@ pub fn max_coverage_bucket(rc: &RrCollection, k: usize) -> CoverageResult {
         debug_assert_eq!(gain[v as usize] as usize, cursor);
         gain[v as usize] = 0;
 
-        for &id in rc.sets_containing(v) {
+        for id in rc.sets_containing(v) {
             let slot = id as usize;
             if covered_mark[slot] {
                 continue;

@@ -1,19 +1,53 @@
-//! Arena-backed RR-set pool with an inverted index.
+//! Arena-backed RR-set pool with an epoch-compacted two-tier inverted
+//! index.
+//!
+//! # Storage layout
+//!
+//! Sets live in one flat node arena (`data`) addressed by per-set
+//! offsets, exactly like the CSR graph storage in `sns-graph`. The
+//! node→set-ids inverted index — the structure greedy Max-Coverage and
+//! every coverage query traverse — is **two-tiered**
+//! ([`crate::index`]): a *sealed* tier holding all sets up to the last
+//! compaction as flat CSR arrays (`index_offsets: Vec<u64>`,
+//! `index_data: Vec<u32>`), and a small *pending* tier of per-node
+//! chains absorbing appends since then. Queries concatenate the tiers;
+//! both yield ascending set ids, so range restriction stays a binary
+//! search plus a short chain skip.
+//!
+//! Compared to the previous `node_to_sets: Vec<Vec<u32>>` layout this
+//! removes one heap allocation + 24-byte `Vec` header per node and the
+//! power-of-two capacity slack per non-empty node (~3× overhead at
+//! billion scale), and it turns index construction into a parallel
+//! counting sort instead of per-node `push` calls.
+//!
+//! # Amortization
+//!
+//! A compaction costs `O(total entries)` (counting sort). It runs only
+//! when the pending tier exceeds `max(1024, total/4)` entries, so over a
+//! pool built by appends the total compaction work forms a geometric
+//! series bounded by `O(total entries)` — and under SSA/D-SSA's doubling
+//! schedule (`Λ·2^(t−1)` sets at iteration `t`) every `extend_*` call
+//! crosses the threshold, so each epoch is sealed exactly once per
+//! iteration.
+//!
+//! # Determinism
+//!
+//! Set ids are dense `0..len()` in insertion order, so the "first
+//! `Λ·2^(t−1)` samples" semantics of SSA/D-SSA map directly onto id
+//! ranges. Pool growth is **bit-identical** across thread counts: each
+//! sample index owns its RNG stream, workers own contiguous index
+//! ranges merged in order, compaction thresholds depend only on entry
+//! counts, and the counting sort produces the same arrays for every
+//! worker count.
 
 use std::ops::Range;
 
 use sns_diffusion::{RrMeta, RrSampler};
 use sns_graph::NodeId;
 
-/// A growing pool of RR sets.
-///
-/// Storage is a flat node arena plus per-set offsets; the inverted index
-/// maps each node to the (ascending) ids of the sets containing it, which
-/// is what both greedy max-coverage and coverage queries traverse.
-///
-/// Set ids are dense `0..len()` in insertion order, so the "first
-/// `Λ·2^(t−1)` samples" semantics of SSA/D-SSA map directly onto id
-/// ranges.
+use crate::index::{SetIds, TwoTierIndex};
+
+/// A growing pool of RR sets (see the module docs for the layout).
 #[derive(Debug, Clone)]
 pub struct RrCollection {
     n: u32,
@@ -21,8 +55,8 @@ pub struct RrCollection {
     data: Vec<NodeId>,
     /// `offsets[i]..offsets[i+1]` spans set `i` in `data`.
     offsets: Vec<u64>,
-    /// `node_to_sets[v]` = ids of sets containing `v`, ascending.
-    node_to_sets: Vec<Vec<u32>>,
+    /// Two-tier inverted node→set-ids index.
+    index: TwoTierIndex,
     /// Total in-edges examined while sampling all pooled sets.
     total_edges_examined: u64,
 }
@@ -34,7 +68,7 @@ impl RrCollection {
             n,
             data: Vec::new(),
             offsets: vec![0],
-            node_to_sets: vec![Vec::new(); n as usize],
+            index: TwoTierIndex::new(n),
             total_edges_examined: 0,
         }
     }
@@ -64,6 +98,21 @@ impl RrCollection {
         self.total_edges_examined
     }
 
+    /// Number of sets in the sealed (CSR) index tier.
+    pub fn sealed_sets(&self) -> u32 {
+        self.index.sealed_sets()
+    }
+
+    /// Number of sets in the pending (chain) index tier.
+    pub fn pending_sets(&self) -> u32 {
+        self.index.pending_sets()
+    }
+
+    /// Number of epoch seals (compactions) performed so far.
+    pub fn compactions(&self) -> u64 {
+        self.index.compactions()
+    }
+
     /// The nodes of set `id` (root first).
     pub fn set(&self, id: usize) -> &[NodeId] {
         let (s, e) = (self.offsets[id] as usize, self.offsets[id + 1] as usize);
@@ -71,29 +120,54 @@ impl RrCollection {
     }
 
     /// Ids of the sets containing `v`, ascending.
-    pub fn sets_containing(&self, v: NodeId) -> &[u32] {
-        &self.node_to_sets[v as usize]
+    pub fn sets_containing(&self, v: NodeId) -> SetIds<'_> {
+        self.sets_containing_in(v, 0..self.len() as u32)
     }
 
-    /// Ids of the sets containing `v` restricted to an id `range`
-    /// (binary-searched — the per-node lists are ascending).
-    pub fn sets_containing_in(&self, v: NodeId, range: Range<u32>) -> &[u32] {
-        let list = &self.node_to_sets[v as usize];
-        let lo = list.partition_point(|&id| id < range.start);
-        let hi = list.partition_point(|&id| id < range.end);
-        &list[lo..hi]
+    /// Ids of the sets containing `v` restricted to an id `range`,
+    /// ascending (the sealed tier is binary-searched; the pending chain
+    /// is short by the compaction invariant).
+    pub fn sets_containing_in(&self, v: NodeId, range: Range<u32>) -> SetIds<'_> {
+        self.index.sets_containing_in(v, range)
+    }
+
+    /// The single append routine every growth path funnels through:
+    /// copies the set into the arena and accounts its sampling cost. The
+    /// inverted index picks the set up at the next [`Self::reindex`].
+    #[inline]
+    fn append_arena(&mut self, rr: &[NodeId], edges_examined: u64) {
+        debug_assert!(self.len() < u32::MAX as usize, "set-id space exhausted");
+        self.data.extend_from_slice(rr);
+        self.offsets.push(self.data.len() as u64);
+        self.total_edges_examined += edges_examined;
+    }
+
+    /// Brings the inverted index up to date with the arena: appended sets
+    /// either chain into the pending tier or, past the compaction
+    /// threshold, seal a new epoch. Deterministic in `threads`.
+    #[inline]
+    fn reindex(&mut self, threads: usize) {
+        self.index.index_tail(&self.data, &self.offsets, threads);
     }
 
     /// Appends one sampled set.
     pub fn push(&mut self, rr: &[NodeId], meta: RrMeta) {
-        debug_assert!(self.len() < u32::MAX as usize, "set-id space exhausted");
-        let id = self.len() as u32;
-        self.data.extend_from_slice(rr);
-        self.offsets.push(self.data.len() as u64);
-        for &v in rr {
-            self.node_to_sets[v as usize].push(id);
-        }
-        self.total_edges_examined += meta.edges_examined;
+        self.append_arena(rr, meta.edges_examined);
+        self.reindex(1);
+    }
+
+    /// Forces an epoch seal: compacts the pending index tier into the
+    /// sealed CSR tier regardless of the threshold. Queries are
+    /// unaffected; memory drops to the flat-CSR floor.
+    pub fn seal(&mut self) {
+        self.seal_parallel(1);
+    }
+
+    /// [`RrCollection::seal`] with a worker-thread budget for the
+    /// counting-sort rebuild. The resulting index is bit-identical for
+    /// every `threads` value.
+    pub fn seal_parallel(&mut self, threads: usize) {
+        self.index.compact(&self.data, &self.offsets, threads);
     }
 
     /// Grows the pool with samples `from_index .. from_index + count` from
@@ -102,15 +176,17 @@ impl RrCollection {
         let mut rr = Vec::new();
         for i in 0..count {
             let meta = sampler.sample(from_index + i, &mut rr);
-            self.push(&rr, meta);
+            self.append_arena(&rr, meta.edges_examined);
         }
+        self.reindex(1);
     }
 
     /// Grows the pool with samples `from_index .. from_index + count`,
     /// fanning generation across `threads` workers. The result is
     /// **bit-identical** to [`RrCollection::extend_sequential`] because
-    /// each sample index owns its RNG stream and workers own contiguous
-    /// index ranges merged back in order.
+    /// each sample index owns its RNG stream, workers own contiguous
+    /// index ranges merged back in order, and the index build is
+    /// thread-count-invariant (see the module docs).
     pub fn extend_parallel(
         &mut self,
         sampler: &RrSampler<'_>,
@@ -152,33 +228,34 @@ impl RrCollection {
         });
         for (data, offsets, edges) in batches {
             for w in offsets.windows(2) {
-                let rr = &data[w[0] as usize..w[1] as usize];
-                let id = self.len() as u32;
-                self.data.extend_from_slice(rr);
-                self.offsets.push(self.data.len() as u64);
-                for &v in rr {
-                    self.node_to_sets[v as usize].push(id);
-                }
+                self.append_arena(&data[w[0] as usize..w[1] as usize], 0);
             }
             self.total_edges_examined += edges;
         }
+        self.reindex(threads);
     }
 
     /// Number of sets in `range` covered by `seeds` (`Cov_R(S)` of the
     /// paper, Eq. 1, restricted to a pool slice).
     ///
-    /// `scratch` must be a reusable byte buffer; it is resized to the
-    /// range length and cleared on entry.
-    pub fn coverage_of_range(&self, seeds: &[NodeId], range: Range<u32>, scratch: &mut Vec<bool>) -> u64 {
+    /// `scratch` is a reusable `u64` bitset; it is resized to the range
+    /// length and cleared on entry.
+    pub fn coverage_of_range(
+        &self,
+        seeds: &[NodeId],
+        range: Range<u32>,
+        scratch: &mut Vec<u64>,
+    ) -> u64 {
         let len = (range.end - range.start) as usize;
         scratch.clear();
-        scratch.resize(len, false);
+        scratch.resize(len.div_ceil(64), 0);
         let mut covered = 0u64;
         for &s in seeds {
-            for &id in self.sets_containing_in(s, range.clone()) {
+            for id in self.sets_containing_in(s, range.clone()) {
                 let slot = (id - range.start) as usize;
-                if !scratch[slot] {
-                    scratch[slot] = true;
+                let (word, bit) = (slot / 64, 1u64 << (slot % 64));
+                if scratch[word] & bit == 0 {
+                    scratch[word] |= bit;
                     covered += 1;
                 }
             }
@@ -192,19 +269,21 @@ impl RrCollection {
         self.coverage_of_range(seeds, 0..self.len() as u32, &mut scratch)
     }
 
-    /// Exact byte footprint of the pool (arena + offsets + inverted
-    /// index, counting capacities). This is the quantity the memory
+    /// Exact byte footprint of the pool (arena + offsets + both inverted
+    /// index tiers, counting capacities). This is the quantity the memory
     /// experiments (Figs. 6–7) report.
     pub fn memory_bytes(&self) -> u64 {
         use std::mem::size_of;
         let arena = self.data.capacity() * size_of::<NodeId>();
         let offsets = self.offsets.capacity() * size_of::<u64>();
-        let index: usize = self
-            .node_to_sets
-            .iter()
-            .map(|v| v.capacity() * size_of::<u32>() + size_of::<Vec<u32>>())
-            .sum();
-        (arena + offsets + index) as u64
+        (arena + offsets) as u64 + self.index.memory_bytes()
+    }
+
+    /// Byte footprint of the inverted index alone (both tiers, counting
+    /// capacities) — the component the two-tier layout shrinks relative
+    /// to per-node `Vec`s.
+    pub fn index_memory_bytes(&self) -> u64 {
+        self.index.memory_bytes()
     }
 }
 
@@ -228,8 +307,8 @@ mod tests {
         assert_eq!(rc.total_nodes(), 6);
         assert_eq!(rc.set(0), &[0, 1, 2]);
         assert_eq!(rc.set(1), &[1]);
-        assert_eq!(rc.sets_containing(1), &[0, 1, 2]);
-        assert_eq!(rc.sets_containing(4), &[] as &[u32]);
+        assert_eq!(rc.sets_containing(1).to_vec(), vec![0, 1, 2]);
+        assert_eq!(rc.sets_containing(4).to_vec(), Vec::<u32>::new());
         assert_eq!(rc.total_edges_examined(), 3);
     }
 
@@ -253,7 +332,7 @@ mod tests {
         rc.push(&[0, 1], meta(0)); // id 1
         rc.push(&[1], meta(1)); // id 2
         rc.push(&[0, 2], meta(0)); // id 3
-        assert_eq!(rc.sets_containing_in(0, 1..4), &[1, 3]);
+        assert_eq!(rc.sets_containing_in(0, 1..4).to_vec(), vec![1, 3]);
         let mut scratch = Vec::new();
         assert_eq!(rc.coverage_of_range(&[0], 0..2, &mut scratch), 2);
         assert_eq!(rc.coverage_of_range(&[0], 2..4, &mut scratch), 1);
@@ -261,10 +340,27 @@ mod tests {
     }
 
     #[test]
+    fn queries_agree_across_seal_boundaries() {
+        let mut rc = RrCollection::new(3);
+        rc.push(&[0], meta(0)); // id 0
+        rc.push(&[0, 1], meta(0)); // id 1
+        rc.seal(); // ids 0..2 now sealed
+        rc.push(&[1], meta(1)); // id 2 (pending)
+        rc.push(&[0, 2], meta(0)); // id 3 (pending)
+        assert_eq!(rc.sealed_sets(), 2);
+        assert_eq!(rc.pending_sets(), 2);
+        assert_eq!(rc.sets_containing(0).to_vec(), vec![0, 1, 3]);
+        assert_eq!(rc.sets_containing_in(0, 1..4).to_vec(), vec![1, 3]);
+        assert_eq!(rc.sets_containing_in(1, 1..3).to_vec(), vec![1, 2]);
+        let mut scratch = Vec::new();
+        assert_eq!(rc.coverage_of_range(&[0], 2..4, &mut scratch), 1);
+        assert_eq!(rc.coverage_of(&[1]), 2);
+    }
+
+    #[test]
     fn parallel_growth_bit_identical_to_sequential() {
-        let g = sns_graph::gen::erdos_renyi(300, 2400, 5)
-            .build(WeightModel::WeightedCascade)
-            .unwrap();
+        let g =
+            sns_graph::gen::erdos_renyi(300, 2400, 5).build(WeightModel::WeightedCascade).unwrap();
         for model in [Model::IndependentCascade, Model::LinearThreshold] {
             let sampler = RrSampler::with_config(&g, model, sns_diffusion::RootDist::Uniform, 11);
             let mut seq = RrCollection::new(300);
@@ -274,7 +370,7 @@ mod tests {
             assert_eq!(seq.len(), par.len());
             assert_eq!(seq.data, par.data);
             assert_eq!(seq.offsets, par.offsets);
-            assert_eq!(seq.node_to_sets, par.node_to_sets);
+            assert_eq!(seq.index, par.index, "index tiers must match bit-for-bit");
             assert_eq!(seq.total_edges_examined, par.total_edges_examined);
         }
     }
@@ -287,6 +383,25 @@ mod tests {
             rc.push(&[(i % 4) as u32, ((i + 1) % 4) as u32], meta(0));
         }
         assert!(rc.memory_bytes() > empty);
+        assert!(rc.index_memory_bytes() > 0);
+    }
+
+    #[test]
+    fn sealing_shrinks_the_index() {
+        let mut rc = RrCollection::new(4);
+        for i in 0..2000 {
+            rc.push(&[(i % 4) as u32, ((i + 1) % 4) as u32], meta(0));
+        }
+        let before = rc.index_memory_bytes();
+        rc.seal();
+        assert_eq!(rc.pending_sets(), 0);
+        assert!(
+            rc.index_memory_bytes() <= before,
+            "sealed CSR should not exceed chained layout: {} vs {before}",
+            rc.index_memory_bytes()
+        );
+        // all queries still intact
+        assert_eq!(rc.sets_containing(0).len(), 1000);
     }
 
     #[test]
@@ -295,7 +410,7 @@ mod tests {
         for _ in 0..50 {
             rc.push(&[0, 1], meta(0));
         }
-        let ids = rc.sets_containing(0);
+        let ids = rc.sets_containing(0).to_vec();
         assert!(ids.windows(2).all(|w| w[0] < w[1]));
     }
 }

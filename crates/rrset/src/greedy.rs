@@ -55,13 +55,10 @@ pub fn max_coverage_range(rc: &RrCollection, k: usize, range: Range<u32>) -> Cov
     let range_len = (range.end - range.start) as usize;
 
     // Exact current marginal gain per node.
-    let mut gain: Vec<u64> = (0..n)
-        .map(|v| rc.sets_containing_in(v, range.clone()).len() as u64)
-        .collect();
-    let mut heap: BinaryHeap<(u64, NodeId)> = (0..n)
-        .filter(|&v| gain[v as usize] > 0)
-        .map(|v| (gain[v as usize], v))
-        .collect();
+    let mut gain: Vec<u64> =
+        (0..n).map(|v| rc.sets_containing_in(v, range.clone()).len() as u64).collect();
+    let mut heap: BinaryHeap<(u64, NodeId)> =
+        (0..n).filter(|&v| gain[v as usize] > 0).map(|v| (gain[v as usize], v)).collect();
 
     let mut covered_mark = vec![false; range_len];
     let mut selected = vec![false; n as usize];
@@ -91,7 +88,7 @@ pub fn max_coverage_range(rc: &RrCollection, k: usize, range: Range<u32>) -> Cov
         seeds.push(v);
         marginal_gains.push(current);
         covered += current;
-        for &id in rc.sets_containing_in(v, range.clone()) {
+        for id in rc.sets_containing_in(v, range.clone()) {
             let slot = (id - range.start) as usize;
             if covered_mark[slot] {
                 continue;
@@ -142,7 +139,7 @@ pub fn max_coverage_naive(rc: &RrCollection, k: usize) -> CoverageResult {
             // deterministic order ((gain, id) max-heap pops the largest id
             // first — match naive to heap by preferring larger ids).
             let candidate = (gain[v as usize], v);
-            if best.map_or(true, |b| candidate > b) {
+            if best.is_none_or(|b| candidate > b) {
                 best = Some(candidate);
             }
         }
@@ -151,7 +148,7 @@ pub fn max_coverage_naive(rc: &RrCollection, k: usize) -> CoverageResult {
         seeds.push(v);
         marginal_gains.push(g);
         covered += g;
-        for &id in rc.sets_containing(v) {
+        for id in rc.sets_containing(v) {
             let slot = id as usize;
             if covered_mark[slot] {
                 continue;

@@ -1,0 +1,524 @@
+//! Two-tier (sealed CSR + pending chain) inverted node→set-id index.
+//!
+//! The *sealed* tier is a flat CSR pair (`index_offsets`, `index_data`)
+//! over all sets indexed at the last compaction: `index_data` holds, for
+//! each node in turn, the ascending ids of the sets containing it. The
+//! *pending* tier absorbs appends that arrived since then as per-node
+//! singly-linked chains threaded through a columnar entry log; chains are
+//! appended at the tail, so walking a chain also yields ascending ids.
+//!
+//! A query concatenates the two tiers (sealed ids are all smaller than
+//! pending ids, because sets seal in id order), which keeps the public
+//! "ascending ids, binary-searchable by range" contract of the old
+//! `Vec<Vec<u32>>` layout at a fraction of its memory: the CSR tier costs
+//! 8 bytes/node + 4 bytes/entry exactly, while per-node `Vec`s cost a
+//! 24-byte header per node (empty or not) plus power-of-two capacity
+//! slack per non-empty node.
+//!
+//! Compaction rebuilds the CSR from the set arena with a counting sort —
+//! optionally multi-threaded: the arena is split into chunks, workers
+//! emit per-chunk node histograms, an exclusive prefix over (node, chunk)
+//! turns those into disjoint write cursors, and workers scatter their
+//! chunks independently. The result is bit-identical for every worker
+//! count, which is what lets `RrCollection` keep its sequential ≡
+//! parallel reproducibility guarantee.
+
+use std::ops::Range;
+
+use sns_graph::NodeId;
+
+/// Chain terminator / "no entry" sentinel.
+const NONE: u32 = u32::MAX;
+
+/// Pending tier: per-node chains through a columnar entry log.
+///
+/// `head`/`tail` are lazily (re-)allocated on the first append after a
+/// compaction and freed by compaction, so a fully sealed index pays zero
+/// bytes for this tier.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct PendingTier {
+    /// First entry index of node `v`'s chain, or `NONE`.
+    head: Vec<u32>,
+    /// Last entry index of node `v`'s chain, or `NONE`.
+    tail: Vec<u32>,
+    /// Set id of each entry, in append order.
+    entry_set: Vec<u32>,
+    /// Next entry in the same node's chain, or `NONE`.
+    entry_next: Vec<u32>,
+}
+
+impl PendingTier {
+    fn clear_and_free(&mut self) {
+        *self = PendingTier::default();
+    }
+
+    #[inline]
+    fn append(&mut self, n: u32, v: NodeId, set_id: u32) {
+        if self.head.is_empty() {
+            self.head = vec![NONE; n as usize];
+            self.tail = vec![NONE; n as usize];
+        }
+        let e = self.entry_set.len() as u32;
+        assert!(e != NONE, "pending entry space exhausted");
+        self.entry_set.push(set_id);
+        self.entry_next.push(NONE);
+        let vi = v as usize;
+        if self.tail[vi] == NONE {
+            self.head[vi] = e;
+        } else {
+            self.entry_next[self.tail[vi] as usize] = e;
+        }
+        self.tail[vi] = e;
+    }
+
+    #[inline]
+    fn head_of(&self, v: NodeId) -> u32 {
+        if self.head.is_empty() {
+            NONE
+        } else {
+            self.head[v as usize]
+        }
+    }
+
+    fn memory_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        ((self.head.capacity() + self.tail.capacity()) * size_of::<u32>()
+            + (self.entry_set.capacity() + self.entry_next.capacity()) * size_of::<u32>())
+            as u64
+    }
+}
+
+/// CSR offset array, width-adaptive: `u32` as long as the entry count
+/// fits (true for any pool below 4 G index entries, i.e. everything but
+/// the extreme billion-scale runs), halving the fixed per-node cost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum CsrOffsets {
+    /// Narrow offsets, total entries `< 2^32`.
+    Narrow(Vec<u32>),
+    /// Wide offsets for pools beyond 4 G entries.
+    Wide(Vec<u64>),
+}
+
+impl CsrOffsets {
+    #[inline]
+    fn span(&self, v: usize) -> Range<usize> {
+        match self {
+            CsrOffsets::Narrow(o) => o[v] as usize..o[v + 1] as usize,
+            CsrOffsets::Wide(o) => o[v] as usize..o[v + 1] as usize,
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        match self {
+            CsrOffsets::Narrow(o) => o.is_empty(),
+            CsrOffsets::Wide(o) => o.is_empty(),
+        }
+    }
+
+    fn memory_bytes(&self) -> u64 {
+        match self {
+            CsrOffsets::Narrow(o) => (o.capacity() * std::mem::size_of::<u32>()) as u64,
+            CsrOffsets::Wide(o) => (o.capacity() * std::mem::size_of::<u64>()) as u64,
+        }
+    }
+}
+
+/// The two-tier inverted index of an [`crate::RrCollection`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct TwoTierIndex {
+    n: u32,
+    /// Number of sets covered by the sealed CSR tier (ids `0..sealed_sets`).
+    sealed_sets: u32,
+    /// CSR offsets: node `v`'s sealed ids live at
+    /// `index_data[index_offsets[v]..index_offsets[v + 1]]`. Empty until
+    /// the first compaction.
+    index_offsets: CsrOffsets,
+    /// Concatenated ascending set ids, grouped by node.
+    index_data: Vec<u32>,
+    pending: PendingTier,
+    /// Number of sets indexed in either tier (`sealed_sets` + pending).
+    indexed_sets: u32,
+    /// Number of (node, set) entries indexed in either tier.
+    indexed_entries: u64,
+    /// Lifetime count of compactions (epoch seals).
+    compactions: u64,
+}
+
+/// Compact only once the pending tier holds at least this many entries…
+const COMPACT_MIN_ENTRIES: u64 = 1024;
+/// …and it exceeds `1/COMPACT_DIV` of all indexed entries. Matched to the
+/// doubling schedule of SSA/D-SSA (each extend at least doubles the pool,
+/// so every extend seals) this amortizes compaction to `O(total entries)`
+/// over the life of the pool.
+const COMPACT_DIV: u64 = 4;
+/// Below this many arena entries a compaction is run single-threaded —
+/// thread spawn plus per-chunk histograms would dominate.
+const PARALLEL_COMPACT_MIN_ENTRIES: usize = 1 << 16;
+
+impl TwoTierIndex {
+    pub(crate) fn new(n: u32) -> Self {
+        TwoTierIndex {
+            n,
+            sealed_sets: 0,
+            index_offsets: CsrOffsets::Narrow(Vec::new()),
+            index_data: Vec::new(),
+            pending: PendingTier::default(),
+            indexed_sets: 0,
+            indexed_entries: 0,
+            compactions: 0,
+        }
+    }
+
+    pub(crate) fn sealed_sets(&self) -> u32 {
+        self.sealed_sets
+    }
+
+    pub(crate) fn pending_sets(&self) -> u32 {
+        self.indexed_sets - self.sealed_sets
+    }
+
+    pub(crate) fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
+    /// Indexes every set in `sets_tail_of(arena)` that is not yet known,
+    /// choosing between chaining into the pending tier and sealing a new
+    /// epoch. `data`/`offsets` describe the **whole** arena; the decision
+    /// and the resulting index state depend only on entry counts, never on
+    /// `threads`, so growth stays bit-reproducible across thread counts.
+    pub(crate) fn index_tail(&mut self, data: &[NodeId], offsets: &[u64], threads: usize) {
+        let total_sets = offsets.len() - 1;
+        debug_assert!(self.indexed_sets as usize <= total_sets);
+        let unindexed_entries = data.len() as u64 - self.indexed_entries;
+        if unindexed_entries == 0 {
+            return;
+        }
+        let pending_after = self.pending.entry_set.len() as u64 + unindexed_entries;
+        let threshold = COMPACT_MIN_ENTRIES.max(data.len() as u64 / COMPACT_DIV);
+        if pending_after > threshold {
+            self.compact(data, offsets, threads);
+            return;
+        }
+        for id in self.indexed_sets as usize..total_sets {
+            let span = offsets[id] as usize..offsets[id + 1] as usize;
+            for &v in &data[span] {
+                self.pending.append(self.n, v, id as u32);
+            }
+        }
+        self.indexed_sets = total_sets as u32;
+        self.indexed_entries = data.len() as u64;
+    }
+
+    /// Seals the current epoch: rebuilds the CSR tier over the whole arena
+    /// with a (optionally parallel) counting sort and frees the pending
+    /// tier.
+    pub(crate) fn compact(&mut self, data: &[NodeId], offsets: &[u64], threads: usize) {
+        let n = self.n as usize;
+        let total_sets = offsets.len() - 1;
+        let entries = data.len();
+        let workers = if threads <= 1 || entries < PARALLEL_COMPACT_MIN_ENTRIES {
+            1
+        } else {
+            threads.min(total_sets.max(1))
+        };
+
+        // Pass 1 — per-chunk node histograms (workers own contiguous
+        // *set* ranges, balanced by entry count so no worker inherits all
+        // the long sets): hist[c][v] = entries of v in chunk c. Summed
+        // into the global per-node counts feeding the CSR offsets.
+        let set_bounds: Vec<usize> = (0..=workers)
+            .map(|w| {
+                let target = (entries as u64 * w as u64 / workers as u64).min(entries as u64);
+                offsets.partition_point(|&o| o < target).min(total_sets)
+            })
+            .collect();
+        let mut counts: Vec<u64> = if workers == 1 {
+            let mut h = vec![0u64; n];
+            for &v in data {
+                h[v as usize] += 1;
+            }
+            h
+        } else {
+            let hists: Vec<Vec<u64>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|c| {
+                        let (lo, hi) = (set_bounds[c], set_bounds[c + 1]);
+                        let chunk = &data[offsets[lo] as usize..offsets[hi] as usize];
+                        scope.spawn(move || {
+                            let mut h = vec![0u64; n];
+                            for &v in chunk {
+                                h[v as usize] += 1;
+                            }
+                            h
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("histogram worker panicked")).collect()
+            });
+            let mut total = vec![0u64; n];
+            for h in &hists {
+                for (t, &c) in total.iter_mut().zip(h) {
+                    *t += c;
+                }
+            }
+            total
+        };
+
+        // Pass 2 — exclusive prefix sum over nodes: the CSR offsets.
+        let mut index_offsets = vec![0u64; n + 1];
+        for v in 0..n {
+            index_offsets[v + 1] = index_offsets[v] + counts[v];
+        }
+        debug_assert_eq!(index_offsets[n] as usize, entries);
+
+        // Pass 3 — scatter, parallel over *node* ranges: each worker owns
+        // a contiguous node range balanced by entry count, hence a
+        // disjoint contiguous region of `index_data` (no sharing, no
+        // false sharing — a set-chunked scatter would interleave writes
+        // within each node's id list and thrash cache lines). Every
+        // worker streams the whole arena in ascending set-id order, which
+        // keeps per-node id lists ascending, at a read amplification of
+        // `workers` — cheap next to the random writes. `counts` is
+        // repurposed as the per-node write cursors.
+        let mut index_data = vec![0u32; entries];
+        if workers == 1 {
+            counts.copy_from_slice(&index_offsets[..n]);
+            let cursors = &mut counts;
+            for id in 0..total_sets {
+                let span = offsets[id] as usize..offsets[id + 1] as usize;
+                for &v in &data[span] {
+                    index_data[cursors[v as usize] as usize] = id as u32;
+                    cursors[v as usize] += 1;
+                }
+            }
+        } else {
+            let node_bounds: Vec<usize> = (0..=workers)
+                .map(|w| {
+                    let target = (entries as u64 * w as u64 / workers as u64).min(entries as u64);
+                    index_offsets.partition_point(|&o| o < target).min(n)
+                })
+                .collect();
+            std::thread::scope(|scope| {
+                let mut rest: &mut [u32] = &mut index_data;
+                let mut consumed = 0u64;
+                for w in 0..workers {
+                    let (lo, hi) = (node_bounds[w], node_bounds[w + 1]);
+                    let base = index_offsets[lo];
+                    let len = (index_offsets[hi] - base) as usize;
+                    debug_assert_eq!(base, consumed);
+                    let (mine, tail) = rest.split_at_mut(len);
+                    rest = tail;
+                    consumed += len as u64;
+                    let index_offsets = &index_offsets;
+                    scope.spawn(move || {
+                        let mut cursors: Vec<u64> =
+                            index_offsets[lo..hi].iter().map(|&o| o - base).collect();
+                        for id in 0..total_sets {
+                            let span = offsets[id] as usize..offsets[id + 1] as usize;
+                            for &v in &data[span] {
+                                let vi = v as usize;
+                                if vi < lo || vi >= hi {
+                                    continue;
+                                }
+                                mine[cursors[vi - lo] as usize] = id as u32;
+                                cursors[vi - lo] += 1;
+                            }
+                        }
+                    });
+                }
+            });
+        }
+
+        self.index_offsets = if entries <= u32::MAX as usize {
+            CsrOffsets::Narrow(index_offsets.iter().map(|&o| o as u32).collect())
+        } else {
+            CsrOffsets::Wide(index_offsets)
+        };
+        self.index_data = index_data;
+        self.sealed_sets = total_sets as u32;
+        self.indexed_sets = total_sets as u32;
+        self.indexed_entries = entries as u64;
+        self.pending.clear_and_free();
+        self.compactions += 1;
+    }
+
+    #[inline]
+    fn sealed_slice(&self, v: NodeId) -> &[u32] {
+        if self.index_offsets.is_empty() {
+            return &[];
+        }
+        &self.index_data[self.index_offsets.span(v as usize)]
+    }
+
+    /// Ids of indexed sets containing `v` whose id falls in `range`,
+    /// ascending. Sealed ids are binary-searched; the pending chain is
+    /// skipped up to `range.start` (chains are short by the compaction
+    /// invariant).
+    pub(crate) fn sets_containing_in(&self, v: NodeId, range: Range<u32>) -> SetIds<'_> {
+        let sealed = self.sealed_slice(v);
+        let lo = sealed.partition_point(|&id| id < range.start);
+        let hi = sealed.partition_point(|&id| id < range.end);
+        let mut cursor = self.pending.head_of(v);
+        while cursor != NONE && self.pending.entry_set[cursor as usize] < range.start {
+            cursor = self.pending.entry_next[cursor as usize];
+        }
+        SetIds {
+            sealed: &sealed[lo..hi],
+            entry_set: &self.pending.entry_set,
+            entry_next: &self.pending.entry_next,
+            cursor,
+            end: range.end,
+        }
+    }
+
+    pub(crate) fn memory_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        self.index_offsets.memory_bytes()
+            + (self.index_data.capacity() * size_of::<u32>()) as u64
+            + self.pending.memory_bytes()
+    }
+}
+
+/// Iterator over the (ascending) ids of the sets containing one node,
+/// concatenating the sealed CSR slice and the node's pending chain.
+///
+/// Returned by [`crate::RrCollection::sets_containing`] and
+/// [`crate::RrCollection::sets_containing_in`].
+#[derive(Debug, Clone)]
+pub struct SetIds<'a> {
+    sealed: &'a [u32],
+    entry_set: &'a [u32],
+    entry_next: &'a [u32],
+    cursor: u32,
+    end: u32,
+}
+
+impl SetIds<'_> {
+    /// Number of ids this iterator will yield.
+    pub fn len(&self) -> usize {
+        let mut pending = 0usize;
+        let mut cursor = self.cursor;
+        while cursor != NONE && self.entry_set[cursor as usize] < self.end {
+            pending += 1;
+            cursor = self.entry_next[cursor as usize];
+        }
+        self.sealed.len() + pending
+    }
+
+    /// Whether no ids will be yielded.
+    pub fn is_empty(&self) -> bool {
+        self.sealed.is_empty()
+            && (self.cursor == NONE || self.entry_set[self.cursor as usize] >= self.end)
+    }
+
+    /// Collects the remaining ids (test/debug convenience).
+    pub fn to_vec(&self) -> Vec<u32> {
+        self.clone().collect()
+    }
+}
+
+impl Iterator for SetIds<'_> {
+    type Item = u32;
+
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        if let Some((&id, rest)) = self.sealed.split_first() {
+            self.sealed = rest;
+            return Some(id);
+        }
+        if self.cursor == NONE {
+            return None;
+        }
+        let id = self.entry_set[self.cursor as usize];
+        if id >= self.end {
+            self.cursor = NONE;
+            return None;
+        }
+        self.cursor = self.entry_next[self.cursor as usize];
+        Some(id)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let len = self.len();
+        (len, Some(len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arena(sets: &[&[NodeId]]) -> (Vec<NodeId>, Vec<u64>) {
+        let mut data = Vec::new();
+        let mut offsets = vec![0u64];
+        for s in sets {
+            data.extend_from_slice(s);
+            offsets.push(data.len() as u64);
+        }
+        (data, offsets)
+    }
+
+    #[test]
+    fn pending_only_queries() {
+        let mut ix = TwoTierIndex::new(4);
+        let (data, offsets) = arena(&[&[0, 1], &[1, 2], &[1]]);
+        ix.index_tail(&data, &offsets, 1);
+        assert_eq!(ix.sealed_sets(), 0, "small appends stay pending");
+        assert_eq!(ix.sets_containing_in(1, 0..3).to_vec(), vec![0, 1, 2]);
+        assert_eq!(ix.sets_containing_in(1, 1..2).to_vec(), vec![1]);
+        assert_eq!(ix.sets_containing_in(3, 0..3).to_vec(), Vec::<u32>::new());
+        assert_eq!(ix.sets_containing_in(1, 0..3).len(), 3);
+    }
+
+    #[test]
+    fn sealed_then_pending_concatenate_ascending() {
+        let mut ix = TwoTierIndex::new(3);
+        let (data, offsets) = arena(&[&[0, 1], &[1]]);
+        ix.index_tail(&data, &offsets, 1);
+        ix.compact(&data, &offsets, 1);
+        assert_eq!(ix.sealed_sets(), 2);
+        let (data, offsets) = arena(&[&[0, 1], &[1], &[1, 2]]);
+        ix.index_tail(&data, &offsets, 1);
+        assert_eq!(ix.pending_sets(), 1);
+        assert_eq!(ix.sets_containing_in(1, 0..3).to_vec(), vec![0, 1, 2]);
+        assert_eq!(ix.sets_containing_in(1, 2..3).to_vec(), vec![2]);
+        assert_eq!(ix.sets_containing_in(2, 0..3).to_vec(), vec![2]);
+    }
+
+    #[test]
+    fn compaction_is_thread_count_invariant() {
+        // Enough entries to exceed PARALLEL_COMPACT_MIN_ENTRIES so the
+        // multi-threaded path really runs.
+        const SETS: u32 = 4000;
+        let sets: Vec<Vec<NodeId>> = (0..SETS)
+            .map(|i| {
+                (0..64).filter(|v| (i.wrapping_mul(2654435761) >> (v % 17)) & 1 == 1).collect()
+            })
+            .collect();
+        let refs: Vec<&[NodeId]> = sets.iter().map(|s| s.as_slice()).collect();
+        let (data, offsets) = arena(&refs);
+        assert!(data.len() >= PARALLEL_COMPACT_MIN_ENTRIES);
+        let mut seq = TwoTierIndex::new(64);
+        seq.compact(&data, &offsets, 1);
+        for threads in [2, 4, 8] {
+            let mut par = TwoTierIndex::new(64);
+            par.compact(&data, &offsets, threads);
+            assert_eq!(seq, par, "compaction differs at {threads} threads");
+        }
+        for v in 0..64 {
+            let ids = seq.sets_containing_in(v, 0..SETS).to_vec();
+            assert!(ids.windows(2).all(|w| w[0] < w[1]), "node {v} ids not ascending");
+        }
+    }
+
+    #[test]
+    fn compaction_frees_the_pending_tier() {
+        let mut ix = TwoTierIndex::new(8);
+        let (data, offsets) = arena(&[&[0, 1, 2], &[3, 4]]);
+        ix.index_tail(&data, &offsets, 1);
+        assert!(ix.pending.memory_bytes() > 0);
+        ix.compact(&data, &offsets, 1);
+        assert_eq!(ix.pending.memory_bytes(), 0);
+        assert_eq!(ix.sets_containing_in(3, 0..2).to_vec(), vec![1]);
+    }
+}

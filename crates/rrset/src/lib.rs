@@ -11,9 +11,12 @@
 //! * **Coverage queries**: `Cov_R(S)` for the stopping conditions —
 //!   [`RrCollection::coverage_of`].
 //!
-//! [`RrCollection`] stores sets in a flat arena with an inverted
-//! node→set-id index, supports deterministic parallel growth, and accounts
-//! its exact byte footprint (the quantity Figures 6–7 of the paper track).
+//! [`RrCollection`] stores sets in a flat arena with a **two-tier**
+//! inverted node→set-id index — a sealed flat-CSR tier rebuilt by a
+//! parallel counting sort at epoch compactions, plus a small pending
+//! chain tier for fresh appends (see [`RrCollection`]'s docs). It
+//! supports deterministic parallel growth and accounts its exact byte
+//! footprint (the quantity Figures 6–7 of the paper track).
 //!
 //! D-SSA splits its sample stream into halves (`R_t`, `R^c_t`); both
 //! [`max_coverage_range`] and [`RrCollection::coverage_of_range`] take a
@@ -24,7 +27,9 @@
 mod bucket;
 mod collection;
 mod greedy;
+mod index;
 
 pub use bucket::max_coverage_bucket;
 pub use collection::RrCollection;
 pub use greedy::{max_coverage, max_coverage_naive, max_coverage_range, CoverageResult};
+pub use index::SetIds;

@@ -1,4 +1,5 @@
-//! Property-based tests for the RR pool and greedy max-coverage.
+//! Property-based tests for the RR pool, its two-tier inverted index and
+//! greedy max-coverage.
 
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -129,4 +130,126 @@ proptest! {
         prop_assert!(together <= separate);
         prop_assert!(together >= rc.coverage_of(&[a]));
     }
+
+    /// Two-tier index ≡ naive rescan: across random interleavings of
+    /// pushes and forced epoch seals, `sets_containing_in` must return
+    /// exactly the ids a linear scan of the arena finds, ascending, for
+    /// every node and query range — regardless of how the ids are split
+    /// between the sealed CSR tier and the pending chains.
+    #[test]
+    fn index_matches_naive_rescan(
+        ops in vec((vec(0u32..N, 1..6), 0u32..8), 1..60),
+        lo_frac in 0.0f64..=1.0,
+        hi_frac in 0.0f64..=1.0,
+    ) {
+        let mut rc = RrCollection::new(N);
+        let mut sets: Vec<Vec<NodeId>> = Vec::new();
+        for (s, seal_die) in ops {
+            let mut s = s.clone();
+            s.sort_unstable();
+            s.dedup();
+            rc.push(&s, meta());
+            sets.push(s);
+            // seal with probability 1/8 → interleavings cover pools that
+            // are fully sealed, fully pending, and everything between
+            if seal_die == 0 {
+                rc.seal();
+            }
+        }
+        let total = sets.len() as u32;
+        let lo = (f64::from(total) * lo_frac) as u32;
+        let hi = (f64::from(total) * hi_frac) as u32;
+        let (lo, hi) = (lo.min(hi), lo.max(hi));
+        for v in 0..N {
+            let expect_all: Vec<u32> = (0..total)
+                .filter(|&id| sets[id as usize].contains(&v))
+                .collect();
+            let expect_range: Vec<u32> =
+                expect_all.iter().copied().filter(|&id| id >= lo && id < hi).collect();
+            prop_assert_eq!(rc.sets_containing(v).to_vec(), expect_all);
+            let got = rc.sets_containing_in(v, lo..hi);
+            prop_assert_eq!(got.len(), expect_range.len());
+            prop_assert_eq!(got.to_vec(), expect_range);
+        }
+    }
+}
+
+/// `extend_parallel` must be observably bit-identical to
+/// `extend_sequential` for 1, 2 and 8 worker threads — same sets, same
+/// index responses, same accounting — including when growth happens in
+/// several increments (the SSA/D-SSA doubling schedule).
+#[test]
+fn extend_parallel_bit_identical_across_thread_counts() {
+    use sns_diffusion::{Model, RootDist, RrSampler};
+    use sns_graph::{gen, WeightModel};
+
+    let g = gen::erdos_renyi(250, 2000, 9).build(WeightModel::WeightedCascade).unwrap();
+    for model in [Model::IndependentCascade, Model::LinearThreshold] {
+        let sampler = RrSampler::with_config(&g, model, RootDist::Uniform, 13);
+        let mut seq = RrCollection::new(250);
+        let mut s = sampler.clone();
+        // grow in doubling increments like the algorithms do
+        for (from, count) in [(0u64, 300u64), (300, 300), (600, 600)] {
+            seq.extend_sequential(&mut s, from, count);
+        }
+        for threads in [1usize, 2, 8] {
+            let mut par = RrCollection::new(250);
+            for (from, count) in [(0u64, 300u64), (300, 300), (600, 600)] {
+                par.extend_parallel(&sampler, from, count, threads);
+            }
+            assert_eq!(seq.len(), par.len(), "{model}: {threads} threads");
+            assert_eq!(seq.total_nodes(), par.total_nodes());
+            assert_eq!(seq.total_edges_examined(), par.total_edges_examined());
+            assert_eq!(seq.sealed_sets(), par.sealed_sets());
+            assert_eq!(seq.pending_sets(), par.pending_sets());
+            assert_eq!(seq.memory_bytes(), par.memory_bytes());
+            for id in 0..seq.len() {
+                assert_eq!(seq.set(id), par.set(id), "{model}: set {id} differs");
+            }
+            for v in 0..250u32 {
+                assert_eq!(
+                    seq.sets_containing(v).to_vec(),
+                    par.sets_containing(v).to_vec(),
+                    "{model}: node {v} index differs at {threads} threads"
+                );
+            }
+        }
+    }
+}
+
+/// Acceptance criterion of the two-tier layout: on a 100k-node
+/// Barabási–Albert pool the inverted index must cost at most half of
+/// what the previous `Vec<Vec<u32>>` layout would (headers + capacity
+/// slack measured on an actually-built per-node-Vec index).
+#[test]
+fn index_memory_halves_vs_per_node_vecs() {
+    use sns_diffusion::{Model, RootDist, RrSampler};
+    use sns_graph::{gen, WeightModel};
+
+    let g = gen::barabasi_albert(100_000, 4, gen::Orientation::RandomSingle, 7)
+        .build(WeightModel::WeightedCascade)
+        .unwrap();
+    let sampler = RrSampler::with_config(&g, Model::IndependentCascade, RootDist::Uniform, 3);
+    let mut rc = RrCollection::new(g.num_nodes());
+    rc.extend_parallel(&sampler, 0, 15_000, 8);
+    assert_eq!(rc.pending_sets(), 0, "a bulk extend past the threshold must seal");
+
+    // Rebuild the pre-refactor index layout and measure it exactly.
+    let mut node_to_sets: Vec<Vec<u32>> = vec![Vec::new(); g.num_nodes() as usize];
+    for id in 0..rc.len() {
+        for &v in rc.set(id) {
+            node_to_sets[v as usize].push(id as u32);
+        }
+    }
+    let old_bytes: u64 = node_to_sets
+        .iter()
+        .map(|v| {
+            (v.capacity() * std::mem::size_of::<u32>() + std::mem::size_of::<Vec<u32>>()) as u64
+        })
+        .sum();
+    let new_bytes = rc.index_memory_bytes();
+    assert!(
+        2 * new_bytes <= old_bytes,
+        "two-tier index {new_bytes} B not ≥2× smaller than Vec<Vec<u32>> {old_bytes} B"
+    );
 }

@@ -105,12 +105,14 @@ mod tests {
 
     #[test]
     fn uniform_weights_match_plain_spread() {
-        let g = sns_graph::gen::erdos_renyi(150, 900, 4)
-            .build(WeightModel::WeightedCascade)
-            .unwrap();
+        let g =
+            sns_graph::gen::erdos_renyi(150, 900, 4).build(WeightModel::WeightedCascade).unwrap();
         let w = TargetWeights::uniform_all(150);
-        let targeted = TargetedSpreadEstimator::new(&g, Model::LinearThreshold, &w)
-            .estimate(&[0, 1], 20_000, 9);
+        let targeted = TargetedSpreadEstimator::new(&g, Model::LinearThreshold, &w).estimate(
+            &[0, 1],
+            20_000,
+            9,
+        );
         let plain = sns_diffusion::SpreadEstimator::new(&g, Model::LinearThreshold)
             .with_threads(1)
             .estimate(&[0, 1], 20_000, 9);
@@ -122,12 +124,14 @@ mod tests {
 
     #[test]
     fn parallel_matches_sequential() {
-        let g = sns_graph::gen::erdos_renyi(100, 600, 4)
-            .build(WeightModel::WeightedCascade)
-            .unwrap();
+        let g =
+            sns_graph::gen::erdos_renyi(100, 600, 4).build(WeightModel::WeightedCascade).unwrap();
         let w = TargetWeights::synthetic_topic(&g, 0.2, 1.0, 5).unwrap();
-        let seq = TargetedSpreadEstimator::new(&g, Model::IndependentCascade, &w)
-            .estimate(&[3, 4], 2000, 11);
+        let seq = TargetedSpreadEstimator::new(&g, Model::IndependentCascade, &w).estimate(
+            &[3, 4],
+            2000,
+            11,
+        );
         let par = TargetedSpreadEstimator::new(&g, Model::IndependentCascade, &w)
             .with_threads(8)
             .estimate(&[3, 4], 2000, 11);

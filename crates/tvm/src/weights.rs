@@ -154,6 +154,7 @@ mod tests {
     use sns_graph::{gen, WeightModel};
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // spec cross-check reads better inline
     fn topic_specs_match_table4() {
         assert_eq!(TOPIC_1.users, 997_034);
         assert_eq!(TOPIC_2.users, 507_465);

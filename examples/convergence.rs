@@ -27,8 +27,8 @@ fn main() {
     let (result, trace) = Dssa::new(params).run_traced(&ctx).expect("run succeeds");
 
     println!(
-        "{:>3} {:>12} {:>10} {:>10} {:>9} {:>9} {:>9} {:>9}  {}",
-        "t", "pool", "Î(find)", "Î(verify)", "eps1", "eps2", "eps3", "eps_t", "D2?"
+        "{:>3} {:>12} {:>10} {:>10} {:>9} {:>9} {:>9} {:>9}  D2?",
+        "t", "pool", "Î(find)", "Î(verify)", "eps1", "eps2", "eps3", "eps_t"
     );
     for it in &trace {
         match (it.influence_verify, it.epsilons, it.eps_t) {
@@ -45,8 +45,8 @@ fn main() {
                 if et <= epsilon { "STOP" } else { "continue" }
             ),
             _ => println!(
-                "{:>3} {:>12} {:>10.0} {:>10} {:>9} {:>9} {:>9} {:>9}  {}",
-                it.t, it.pool_size, it.influence_find, "-", "-", "-", "-", "-", "D1 not met"
+                "{:>3} {:>12} {:>10.0} {:>10} {:>9} {:>9} {:>9} {:>9}  D1 not met",
+                it.t, it.pool_size, it.influence_find, "-", "-", "-", "-", "-"
             ),
         }
     }

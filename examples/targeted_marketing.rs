@@ -12,13 +12,14 @@
 //! ```
 
 use stop_and_stare::graph::gen::datasets;
-use stop_and_stare::tvm::{DssaTvm, KbTim, SsaTvm, TargetWeights, TargetedSpreadEstimator, TOPIC_1};
+use stop_and_stare::tvm::{
+    DssaTvm, KbTim, SsaTvm, TargetWeights, TargetedSpreadEstimator, TOPIC_1,
+};
 use stop_and_stare::{Model, Params, SamplingContext};
 
 fn main() {
-    let graph = datasets::TWITTER
-        .generate(1.0 / 1024.0, 2024)
-        .expect("generator parameters are valid");
+    let graph =
+        datasets::TWITTER.generate(1.0 / 1024.0, 2024).expect("generator parameters are valid");
     let n = graph.num_nodes();
 
     // Synthesize Topic 1's audience at the fraction Table 4 mined from

@@ -17,9 +17,8 @@ use stop_and_stare::{Dssa, Model, Params, SamplingContext, SpreadEstimator};
 fn main() {
     // Twitter stand-in at 1/1024 scale (≈ 40k users) so the example runs
     // in seconds on a laptop; see `repro` for full-scale experiments.
-    let graph = datasets::TWITTER
-        .generate(1.0 / 1024.0, 2024)
-        .expect("generator parameters are valid");
+    let graph =
+        datasets::TWITTER.generate(1.0 / 1024.0, 2024).expect("generator parameters are valid");
     println!("campaign network: {}\n", GraphStats::compute(&graph));
 
     let ctx = SamplingContext::new(&graph, Model::LinearThreshold).with_seed(11);

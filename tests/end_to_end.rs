@@ -145,9 +145,8 @@ fn full_stack_determinism() {
     let g = testbed();
     let params = Params::new(2, 0.2, 0.05).unwrap();
     for threads in [1usize, 4] {
-        let ctx = SamplingContext::new(&g, Model::LinearThreshold)
-            .with_seed(31)
-            .with_threads(threads);
+        let ctx =
+            SamplingContext::new(&g, Model::LinearThreshold).with_seed(31).with_threads(threads);
         let a = Dssa::new(params).run(&ctx).unwrap();
         let b = Dssa::new(params).run(&ctx).unwrap();
         assert_eq!(a.seeds, b.seeds);
@@ -171,8 +170,5 @@ fn quality_stable_across_seeds() {
     }
     let max = spreads.iter().cloned().fold(f64::MIN, f64::max);
     let min = spreads.iter().cloned().fold(f64::MAX, f64::min);
-    assert!(
-        (max - min) / max < 0.15,
-        "seed-to-seed spread varies too much: {spreads:?}"
-    );
+    assert!((max - min) / max < 0.15, "seed-to-seed spread varies too much: {spreads:?}");
 }

@@ -43,11 +43,7 @@ fn degenerate_graphs_run_cleanly() {
         let r = Dssa::new(params).run(&ctx).unwrap();
         assert_eq!(r.seeds.len(), 3);
         // every node influences exactly itself: Î ≈ k
-        assert!(
-            (r.influence_estimate - 3.0).abs() < 1.0,
-            "{model}: Î = {}",
-            r.influence_estimate
-        );
+        assert!((r.influence_estimate - 3.0).abs() < 1.0, "{model}: Î = {}", r.influence_estimate);
     }
 }
 
@@ -148,9 +144,7 @@ fn tvm_weight_edge_cases() {
     w[17] = 2.5;
     let audience = TargetWeights::from_weights(w).unwrap();
     let params = Params::new(1, 0.3, 0.1).unwrap();
-    let r = DssaTvm::new(params)
-        .run(&g, Model::IndependentCascade, &audience, 4, 1)
-        .unwrap();
+    let r = DssaTvm::new(params).run(&g, Model::IndependentCascade, &audience, 4, 1).unwrap();
     assert_eq!(r.seeds.len(), 1);
     // the only mass is on node 17; influence can't exceed Γ = 2.5
     assert!(r.influence_estimate <= 2.5 + 1e-9);

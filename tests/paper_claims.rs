@@ -53,7 +53,12 @@ fn memory_ordering_dssa_ssa_imm() {
     let s = Ssa::new(params).run(&ctx).unwrap();
     let i = Imm::new(params).run(&ctx).unwrap();
     assert!(d.peak_pool_bytes <= s.peak_pool_bytes * 2, "D-SSA vs SSA pools");
-    assert!(s.peak_pool_bytes < i.peak_pool_bytes, "SSA {} vs IMM {}", s.peak_pool_bytes, i.peak_pool_bytes);
+    assert!(
+        s.peak_pool_bytes < i.peak_pool_bytes,
+        "SSA {} vs IMM {}",
+        s.peak_pool_bytes,
+        i.peak_pool_bytes
+    );
 }
 
 /// Claim (§7.2.1): all methods return comparable seed-set quality — no

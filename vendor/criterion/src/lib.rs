@@ -1,0 +1,297 @@
+//! Offline shim implementing the subset of the `criterion` API this
+//! workspace's benches use.
+//!
+//! Measurement is deliberately simple: per benchmark, one warm-up
+//! invocation, then timed invocations until either `sample_size`
+//! iterations or the group's `measurement_time` budget is exhausted.
+//! Results (mean/min/max wall time per iteration) print to stdout in a
+//! stable `bench-name/id: ...` format that downstream tooling can grep.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    /// Mean/min/max nanoseconds per iteration, filled by [`Bencher::iter`].
+    result: Option<(f64, f64, f64)>,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, storing per-iteration statistics.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up (also primes caches/allocations).
+        black_box(routine());
+        let budget = self.measurement_time;
+        let started = Instant::now();
+        let mut times: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size.max(1) {
+            let t0 = Instant::now();
+            black_box(routine());
+            times.push(t0.elapsed().as_nanos() as f64);
+            if started.elapsed() > budget {
+                break;
+            }
+        }
+        let n = times.len() as f64;
+        let mean = times.iter().sum::<f64>() / n;
+        let min = times.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = times.iter().copied().fold(0.0, f64::max);
+        self.result = Some((mean, min, max));
+        self.iters = times.len() as u64;
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// A named collection of related benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark measurement budget.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement_time = time;
+        self
+    }
+
+    /// Sets the warm-up budget (accepted for compatibility; the shim
+    /// always does exactly one warm-up invocation).
+    pub fn warm_up_time(&mut self, _time: Duration) -> &mut Self {
+        self
+    }
+
+    /// Sets the target number of timed iterations.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Declares throughput (accepted for compatibility, not reported).
+    pub fn throughput(&mut self, _elements: u64) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            result: None,
+            iters: 0,
+        };
+        f(&mut b, input);
+        self.report(&id, &b);
+        self
+    }
+
+    /// Runs one benchmark without an input value.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            result: None,
+            iters: 0,
+        };
+        f(&mut b);
+        self.report(&id, &b);
+        self
+    }
+
+    fn report(&mut self, id: &BenchmarkId, b: &Bencher) {
+        let full = format!("{}/{}", self.name, id.id);
+        match b.result {
+            Some((mean, min, max)) => {
+                println!(
+                    "{full:<60} time: [{} {} {}]  ({} iters)",
+                    format_ns(min),
+                    format_ns(mean),
+                    format_ns(max),
+                    b.iters
+                );
+                self.criterion.results.push(BenchResult {
+                    name: full,
+                    mean_ns: mean,
+                    min_ns: min,
+                    max_ns: max,
+                    iters: b.iters,
+                });
+            }
+            None => println!("{full:<60} (no measurement: Bencher::iter never called)"),
+        }
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// One completed measurement, retained on the [`Criterion`] instance so
+/// callers can post-process (e.g. serialize machine-readable output).
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// `group/benchmark` path.
+    pub name: String,
+    /// Mean wall time per iteration.
+    pub mean_ns: f64,
+    /// Fastest iteration.
+    pub min_ns: f64,
+    /// Slowest iteration.
+    pub max_ns: f64,
+    /// Number of timed iterations.
+    pub iters: u64,
+}
+
+/// Benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    /// All measurements recorded so far.
+    pub results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    /// Starts a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+        }
+    }
+
+    /// Runs one stand-alone benchmark (default settings).
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, f);
+        group.finish();
+        self
+    }
+}
+
+/// Bundles benchmark functions into a group runner, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Generates `main` for a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test`/`cargo bench` pass harness flags; a bare
+            // `--test` run should not grind through full measurements.
+            let quick = std::env::args().any(|a| a == "--test");
+            if quick {
+                println!("criterion shim: --test run, skipping measurements");
+                return;
+            }
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3).measurement_time(Duration::from_millis(50));
+        group.bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.bench_function(BenchmarkId::from_parameter("noop"), |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+
+    #[test]
+    fn records_results() {
+        let mut c = Criterion::default();
+        sample_bench(&mut c);
+        assert_eq!(c.results.len(), 2);
+        assert!(c.results[0].name.contains("shim/sum/100"));
+        assert!(c.results.iter().all(|r| r.iters >= 1 && r.mean_ns >= 0.0));
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        let mut c = Criterion::default();
+        benches(&mut c);
+        assert!(!c.results.is_empty());
+    }
+}
