@@ -29,7 +29,11 @@ use sns_diffusion::SpreadEstimator;
 use sns_graph::NodeId;
 
 /// Max-heap entry ordered by gain, tie-broken by node id (largest first,
-/// matching the RIS greedy's deterministic order).
+/// matching the `(gain, id)` order of the RIS greedy in
+/// `sns_rrset::CoverageView::select` — these baselines sample cascades
+/// rather than RR sets, so they are the one greedy family that does *not*
+/// run on the CSR-transposed coverage view, but keeping the tie-break
+/// aligned keeps seed sets comparable across the two families on ties).
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct Entry {
     gain: f64,

@@ -26,7 +26,7 @@ use std::time::Instant;
 
 use sns_core::bounds::{ln_choose, ONE_MINUS_INV_E};
 use sns_core::{CoreError, Params, RunResult, SamplingContext};
-use sns_rrset::{max_coverage, RrCollection};
+use sns_rrset::{max_coverage_with, GreedyScratch, RrCollection};
 
 /// The IMM algorithm.
 #[derive(Debug, Clone)]
@@ -68,6 +68,8 @@ impl Imm {
 
         let mut pool = RrCollection::new(ctx.graph().num_nodes());
         let mut sampler = ctx.sampler(0);
+        // Selection scratch shared by every LB-guess round and phase 2.
+        let mut cover_scratch = GreedyScratch::new();
         let mut peak_bytes = 0u64;
         let mut iterations = 0u32;
         let mut lb = 1.0f64;
@@ -86,7 +88,7 @@ impl Imm {
                 }
             }
             peak_bytes = peak_bytes.max(pool.memory_bytes());
-            let cover = max_coverage(&pool, k);
+            let cover = max_coverage_with(&pool, k, 0..pool.len() as u32, &mut cover_scratch);
             let est = gamma * cover.covered as f64 / pool.len() as f64;
             if est >= (1.0 + eps_prime) * x {
                 lb = est / (1.0 + eps_prime);
@@ -111,7 +113,7 @@ impl Imm {
         iterations += 1;
 
         // Phase 2: node selection.
-        let cover = max_coverage(&pool, k);
+        let cover = max_coverage_with(&pool, k, 0..pool.len() as u32, &mut cover_scratch);
         let pool_size = pool.len() as u64;
         let i_hat = cover.influence_estimate(gamma, pool_size);
 

@@ -15,7 +15,7 @@ use std::time::Instant;
 
 use sns_core::bounds::ln_choose;
 use sns_core::{CoreError, Params, RunResult, SamplingContext};
-use sns_rrset::{max_coverage, RrCollection};
+use sns_rrset::{max_coverage_with, GreedyScratch, RrCollection};
 
 /// Which TIM variant to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,6 +75,8 @@ impl Tim {
         // E[κ] relates to the influence of a random size-k seed sample.
         let mut pool = RrCollection::new(g.num_nodes());
         let mut sampler = ctx.sampler(0);
+        // Selection scratch shared by the TIM+ refinement and phase 2.
+        let mut cover_scratch = GreedyScratch::new();
         let mut rr = Vec::new();
         let mut iterations = 0u32;
         let mut kpt_star = 1.0f64;
@@ -107,7 +109,7 @@ impl Tim {
                 // ε' = 5·∛(l·ε²/(k+l)) — the paper's recommended balance.
                 let eps_ref = 5.0 * (l * eps * eps / (k as f64 + l)).cbrt();
                 let eps_ref = eps_ref.min(0.9); // keep the estimator sane
-                let cover = max_coverage(&pool, k);
+                let cover = max_coverage_with(&pool, k, 0..pool.len() as u32, &mut cover_scratch);
                 let lambda_ref = (2.0 + eps_ref) * l * nf * ln_n / (eps_ref * eps_ref);
                 let theta_ref = (lambda_ref / kpt_star).ceil() as u64;
                 // Fresh, independent sets measure the greedy candidate.
@@ -143,7 +145,7 @@ impl Tim {
         peak_bytes = peak_bytes.max(pool.memory_bytes());
         iterations += 1;
 
-        let cover = max_coverage(&pool, k);
+        let cover = max_coverage_with(&pool, k, 0..pool.len() as u32, &mut cover_scratch);
         let pool_size = pool.len() as u64;
         let i_hat = cover.influence_estimate(gamma, pool_size);
 

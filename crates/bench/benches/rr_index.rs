@@ -16,25 +16,17 @@ use std::time::Duration;
 
 use criterion::{BenchmarkId, Criterion};
 
-use sns_diffusion::{Model, RootDist, RrSampler};
-use sns_graph::{gen, NodeId, WeightModel};
+use sns_graph::NodeId;
 use sns_rrset::RrCollection;
 
-const NODES: u32 = 100_000;
-const SETS: u64 = 60_000;
+#[path = "support/mod.rs"]
+mod support;
+
+use support::{NODES, SETS};
+
 /// Sets appended after the bulk load to populate the pending tier in the
 /// "mixed" lookup scenario (kept under the compaction threshold).
 const PENDING_SETS: u64 = 2_000;
-
-fn build_pool() -> RrCollection {
-    let g = gen::barabasi_albert(NODES, 4, gen::Orientation::RandomSingle, 7)
-        .build(WeightModel::WeightedCascade)
-        .unwrap();
-    let sampler = RrSampler::with_config(&g, Model::IndependentCascade, RootDist::Uniform, 3);
-    let mut pool = RrCollection::new(NODES);
-    pool.extend_parallel(&sampler, 0, SETS, 8);
-    pool
-}
 
 /// The pre-refactor layout, rebuilt here as the ablation baseline.
 fn build_per_node_vecs(pool: &RrCollection) -> Vec<Vec<u32>> {
@@ -103,10 +95,8 @@ fn bench_lookup(c: &mut Criterion, pool: &RrCollection) {
     assert_eq!(sealed.pending_sets(), 0);
 
     // Mixed pool: same sets plus a pending chain tail.
-    let g = gen::barabasi_albert(NODES, 4, gen::Orientation::RandomSingle, 7)
-        .build(WeightModel::WeightedCascade)
-        .unwrap();
-    let sampler = RrSampler::with_config(&g, Model::IndependentCascade, RootDist::Uniform, 3);
+    let g = support::ba_graph();
+    let sampler = support::ic_sampler(&g);
     let mut mixed = pool.clone();
     {
         let mut s = sampler.clone();
@@ -150,36 +140,17 @@ fn bench_lookup(c: &mut Criterion, pool: &RrCollection) {
     );
 }
 
-fn write_json(c: &Criterion) {
-    let manifest = env!("CARGO_MANIFEST_DIR");
-    let path = std::path::Path::new(manifest)
-        .ancestors()
-        .nth(2)
-        .expect("workspace root exists")
-        .join("BENCH_rr_index.json");
-    let mut out = String::from("{\n  \"benchmarks\": [\n");
-    for (i, r) in c.results.iter().enumerate() {
-        let sep = if i + 1 == c.results.len() { "" } else { "," };
-        out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"mean_ns\": {:.0}, \"min_ns\": {:.0}, \"max_ns\": {:.0}, \"iters\": {}}}{}\n",
-            r.name, r.mean_ns, r.min_ns, r.max_ns, r.iters, sep
-        ));
-    }
-    let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
-    out.push_str(&format!("  ],\n  \"host_cores\": {cores}\n}}\n"));
-    std::fs::write(&path, out).expect("write BENCH_rr_index.json");
-    println!("wrote {}", path.display());
-}
-
 fn main() {
-    // `cargo test` passes --test to harness=false targets it runs; stay
-    // quick there.
-    if std::env::args().any(|a| a == "--test") {
-        println!("rr_index: --test run, skipping measurements");
-        return;
+    // `cargo bench -p sns-bench -- --test` (the CI bench-smoke job):
+    // pool build and one iteration of every routine still execute,
+    // unmeasured; only the measurement loop and the JSON snapshot are
+    // skipped.
+    let test_mode = std::env::args().any(|a| a == "--test");
+    if test_mode {
+        println!("rr_index: --test run, one unmeasured iteration per bench");
     }
-    let mut c = Criterion::default();
-    let pool = build_pool();
+    let mut c = Criterion::default().test_mode(test_mode);
+    let pool = support::ba_pool();
     let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
     println!(
         "host cores: {cores} (multi-thread seal variants only help beyond 1 core; \
@@ -195,5 +166,7 @@ fn main() {
     );
     bench_index_build(&mut c, &pool);
     bench_lookup(&mut c, &pool);
-    write_json(&c);
+    if !test_mode {
+        support::write_bench_json(&c, "BENCH_rr_index.json");
+    }
 }

@@ -1,0 +1,63 @@
+//! Helpers shared by the hand-rolled bench mains (`rr_index`,
+//! `greedy_coverage`): the common 100k-node Barabási–Albert workload and
+//! the machine-readable JSON snapshot writer. Kept as a bench-side
+//! module (each bench target compiles it in via `#[path]`) because the
+//! `sns-bench` lib cannot depend on the dev-only criterion shim.
+#![allow(dead_code)] // each bench uses its own subset of these helpers
+
+use criterion::Criterion;
+use sns_diffusion::{Model, RootDist, RrSampler};
+use sns_graph::{gen, Graph, WeightModel};
+use sns_rrset::RrCollection;
+
+/// Nodes of the shared Barabási–Albert benchmark graph.
+pub const NODES: u32 = 100_000;
+/// RR sets sampled into the shared benchmark pool.
+pub const SETS: u64 = 60_000;
+
+/// The shared benchmark graph: 100k-node BA, m = 4, weighted cascade.
+pub fn ba_graph() -> Graph {
+    gen::barabasi_albert(NODES, 4, gen::Orientation::RandomSingle, 7)
+        .build(WeightModel::WeightedCascade)
+        .unwrap()
+}
+
+/// The shared deterministic IC sampler over `g`.
+pub fn ic_sampler(g: &Graph) -> RrSampler<'_> {
+    RrSampler::with_config(g, Model::IndependentCascade, RootDist::Uniform, 3)
+}
+
+/// The shared benchmark pool: [`SETS`] sets of [`ic_sampler`] over
+/// [`ba_graph`] (bit-identical regardless of worker count).
+pub fn ba_pool() -> RrCollection {
+    let g = ba_graph();
+    let sampler = ic_sampler(&g);
+    let mut pool = RrCollection::new(NODES);
+    pool.extend_parallel(&sampler, 0, SETS, 8);
+    pool
+}
+
+/// Writes the recorded measurements as machine-readable JSON to
+/// `file_name` in the workspace root (schema: `{"benchmarks": [{"name",
+/// "mean_ns", "min_ns", "max_ns", "iters"}], "host_cores"}` — shared by
+/// every `BENCH_*.json` snapshot).
+pub fn write_bench_json(c: &Criterion, file_name: &str) {
+    let manifest = env!("CARGO_MANIFEST_DIR");
+    let path = std::path::Path::new(manifest)
+        .ancestors()
+        .nth(2)
+        .expect("workspace root exists")
+        .join(file_name);
+    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    for (i, r) in c.results.iter().enumerate() {
+        let sep = if i + 1 == c.results.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"mean_ns\": {:.0}, \"min_ns\": {:.0}, \"max_ns\": {:.0}, \"iters\": {}}}{}\n",
+            r.name, r.mean_ns, r.min_ns, r.max_ns, r.iters, sep
+        ));
+    }
+    let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    out.push_str(&format!("  ],\n  \"host_cores\": {cores}\n}}\n"));
+    std::fs::write(&path, out).unwrap_or_else(|e| panic!("write {file_name}: {e}"));
+    println!("wrote {}", path.display());
+}

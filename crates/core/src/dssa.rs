@@ -2,7 +2,7 @@
 
 use std::time::Instant;
 
-use sns_rrset::{max_coverage_range, RrCollection};
+use sns_rrset::{max_coverage_with, GreedyScratch, RrCollection};
 
 use crate::bounds::{self, upsilon, ONE_MINUS_INV_E};
 use crate::{CoreError, Params, RunResult, SamplingContext};
@@ -104,6 +104,9 @@ impl Dssa {
 
         let mut pool = RrCollection::new(ctx.graph().num_nodes());
         let mut sampler = ctx.sampler(0);
+        // One selection scratch for the whole run: the per-round coverage
+        // view's gain/heap/stamp buffers stay at high-water capacity.
+        let mut cover_scratch = GreedyScratch::new();
         let mut scratch = Vec::new();
         let mut peak_bytes = 0u64;
         let mut last = None;
@@ -123,7 +126,7 @@ impl Dssa {
             peak_bytes = peak_bytes.max(pool.memory_bytes());
 
             // Find on the first half, verify on the second.
-            let cover = max_coverage_range(&pool, k, 0..half as u32);
+            let cover = max_coverage_with(&pool, k, 0..half as u32, &mut cover_scratch);
             let i_t = cover.influence_estimate(gamma, half);
             let cov_c =
                 pool.coverage_of_range(&cover.seeds, half as u32..full as u32, &mut scratch);

@@ -119,6 +119,14 @@ impl RrCollection {
         &self.data[s..e]
     }
 
+    /// The raw set arena (`data`, `offsets`) — set `i` spans
+    /// `data[offsets[i]..offsets[i + 1]]`. Used by [`crate::CoverageView`]
+    /// to materialize its range-restricted forward CSR in one `memcpy`
+    /// instead of `len` [`RrCollection::set`] calls.
+    pub(crate) fn arena(&self) -> (&[NodeId], &[u64]) {
+        (&self.data, &self.offsets)
+    }
+
     /// Ids of the sets containing `v`, ascending.
     pub fn sets_containing(&self, v: NodeId) -> SetIds<'_> {
         self.sets_containing_in(v, 0..self.len() as u32)

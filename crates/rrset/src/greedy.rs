@@ -5,19 +5,34 @@
 //! `(1 − 1/e)` guarantee relative to the best size-`k` cover. Two
 //! implementations:
 //!
-//! * [`max_coverage`] — exact decremental coverage counts plus a lazy
-//!   max-heap (stale entries are re-keyed on pop), the implementation used
-//!   by every algorithm in this library. Total work is `O(Σ|R_j| + n +
-//!   heap traffic)`.
+//! * [`max_coverage`] / [`max_coverage_range`] — exact decremental
+//!   coverage counts plus a lazy max-heap (stale entries are re-keyed on
+//!   pop), the implementation used by every algorithm in this library.
+//!   Since the coverage-view refactor these run on a sealed
+//!   **CSR-transposed snapshot** of the queried pool slice
+//!   ([`crate::CoverageView`]): selection time first materializes the
+//!   transpose of the inverted index — a flat forward `set → members`
+//!   CSR with width-adaptive offsets rebased to the range (member data
+//!   borrowed zero-copy from the arena; dropped when selection returns) —
+//!   initializes gains with one streaming histogram pass instead of `n`
+//!   two-tier index queries, and runs every decremental gain update as a
+//!   contiguous slice sweep over the snapshot with a generation-stamped
+//!   covered bitset, instead of chasing `u64` arena offsets spread over
+//!   the whole pool. Total work is `O(Σ|R_j| + n + heap traffic)`; seeds
+//!   are bit-identical to the pre-view implementation (same `(gain, id)`
+//!   max-heap tie-break). Algorithms that select round after round
+//!   (SSA, D-SSA, IMM, TIM) call [`crate::max_coverage_with`] to reuse
+//!   one [`crate::GreedyScratch`] across rounds.
 //! * [`max_coverage_naive`] — linear rescan of all nodes per round,
 //!   `O(n·k + Σ|R_j|)`. Kept as the correctness oracle and ablation
-//!   baseline.
+//!   baseline; it deliberately keeps walking [`RrCollection`] directly so
+//!   the oracle shares no code with the view path it checks.
 
-use std::collections::BinaryHeap;
 use std::ops::Range;
 
 use sns_graph::NodeId;
 
+use crate::coverage::{max_coverage_with, GreedyScratch};
 use crate::RrCollection;
 
 /// Result of a greedy max-coverage run.
@@ -49,72 +64,12 @@ pub fn max_coverage(rc: &RrCollection, k: usize) -> CoverageResult {
 
 /// Runs lazy-greedy max-coverage over the pool slice `range` (used by
 /// D-SSA, whose candidate half is the id range `0..Λ·2^(t−1)`).
+///
+/// Materializes a [`crate::CoverageView`] of the slice and selects on it;
+/// see [`crate::max_coverage_with`] to amortize the working buffers over
+/// repeated rounds.
 pub fn max_coverage_range(rc: &RrCollection, k: usize, range: Range<u32>) -> CoverageResult {
-    let n = rc.num_nodes();
-    let k = k.min(n as usize);
-    let range_len = (range.end - range.start) as usize;
-
-    // Exact current marginal gain per node.
-    let mut gain: Vec<u64> =
-        (0..n).map(|v| rc.sets_containing_in(v, range.clone()).len() as u64).collect();
-    let mut heap: BinaryHeap<(u64, NodeId)> =
-        (0..n).filter(|&v| gain[v as usize] > 0).map(|v| (gain[v as usize], v)).collect();
-
-    let mut covered_mark = vec![false; range_len];
-    let mut selected = vec![false; n as usize];
-    let mut seeds = Vec::with_capacity(k);
-    let mut marginal_gains = Vec::with_capacity(k);
-    let mut covered = 0u64;
-
-    while seeds.len() < k {
-        let Some((g, v)) = heap.pop() else { break };
-        if selected[v as usize] {
-            continue;
-        }
-        let current = gain[v as usize];
-        if g > current {
-            // Stale entry: re-key with the exact gain. Gains only
-            // decrease, so the max-heap invariant stays sound.
-            if current > 0 {
-                heap.push((current, v));
-            }
-            continue;
-        }
-        // g == current: v is the true argmax.
-        if current == 0 {
-            break; // nothing left to cover
-        }
-        selected[v as usize] = true;
-        seeds.push(v);
-        marginal_gains.push(current);
-        covered += current;
-        for id in rc.sets_containing_in(v, range.clone()) {
-            let slot = (id - range.start) as usize;
-            if covered_mark[slot] {
-                continue;
-            }
-            covered_mark[slot] = true;
-            for &w in rc.set(id as usize) {
-                gain[w as usize] -= 1;
-            }
-        }
-        debug_assert_eq!(gain[v as usize], 0);
-    }
-
-    // The paper's algorithms want exactly k seeds even when extra seeds
-    // add no coverage (I(S) still counts the seeds themselves). Pad with
-    // arbitrary unselected nodes, gain 0.
-    let mut next = 0u32;
-    while seeds.len() < k && next < n {
-        if !selected[next as usize] {
-            selected[next as usize] = true;
-            seeds.push(next);
-            marginal_gains.push(0);
-        }
-        next += 1;
-    }
-
-    CoverageResult { seeds, covered, marginal_gains }
+    max_coverage_with(rc, k, range, &mut GreedyScratch::new())
 }
 
 /// Textbook greedy: rescans every node each round. Correctness oracle for
@@ -135,9 +90,9 @@ pub fn max_coverage_naive(rc: &RrCollection, k: usize) -> CoverageResult {
             if selected[v as usize] || gain[v as usize] == 0 {
                 continue;
             }
-            // Tie-break on the smaller node id to mirror the heap's
-            // deterministic order ((gain, id) max-heap pops the largest id
-            // first — match naive to heap by preferring larger ids).
+            // Tie-break on the larger node id to mirror the heap's
+            // deterministic order: the (gain, id) max-heap pops the
+            // largest id first among equal gains.
             let candidate = (gain[v as usize], v);
             if best.is_none_or(|b| candidate > b) {
                 best = Some(candidate);
@@ -155,6 +110,75 @@ pub fn max_coverage_naive(rc: &RrCollection, k: usize) -> CoverageResult {
             }
             covered_mark[slot] = true;
             for &w in rc.set(slot) {
+                gain[w as usize] -= 1;
+            }
+        }
+    }
+
+    let mut next = 0u32;
+    while seeds.len() < k && next < n {
+        if !selected[next as usize] {
+            selected[next as usize] = true;
+            seeds.push(next);
+            marginal_gains.push(0);
+        }
+        next += 1;
+    }
+
+    CoverageResult { seeds, covered, marginal_gains }
+}
+
+/// The lazy-heap greedy exactly as it stood **before** the
+/// [`crate::CoverageView`] refactor, kept verbatim (do not optimize) as
+/// the bit-identity reference and ablation baseline: gain initialization
+/// issues one two-tier inverted-index query per node, and every
+/// decremental update walks `rc.set(id)` through the pool's `u64` arena
+/// offsets. Shared by the `greedy_coverage` bench and the acceptance
+/// property test so both compare against the same baseline.
+pub fn max_coverage_pre_refactor(rc: &RrCollection, k: usize, range: Range<u32>) -> CoverageResult {
+    use std::collections::BinaryHeap;
+
+    let n = rc.num_nodes();
+    let k = k.min(n as usize);
+    let range_len = (range.end - range.start) as usize;
+
+    let mut gain: Vec<u64> =
+        (0..n).map(|v| rc.sets_containing_in(v, range.clone()).len() as u64).collect();
+    let mut heap: BinaryHeap<(u64, NodeId)> =
+        (0..n).filter(|&v| gain[v as usize] > 0).map(|v| (gain[v as usize], v)).collect();
+
+    let mut covered_mark = vec![false; range_len];
+    let mut selected = vec![false; n as usize];
+    let mut seeds = Vec::with_capacity(k);
+    let mut marginal_gains = Vec::with_capacity(k);
+    let mut covered = 0u64;
+
+    while seeds.len() < k {
+        let Some((g, v)) = heap.pop() else { break };
+        if selected[v as usize] {
+            continue;
+        }
+        let current = gain[v as usize];
+        if g > current {
+            if current > 0 {
+                heap.push((current, v));
+            }
+            continue;
+        }
+        if current == 0 {
+            break;
+        }
+        selected[v as usize] = true;
+        seeds.push(v);
+        marginal_gains.push(current);
+        covered += current;
+        for id in rc.sets_containing_in(v, range.clone()) {
+            let slot = (id - range.start) as usize;
+            if covered_mark[slot] {
+                continue;
+            }
+            covered_mark[slot] = true;
+            for &w in rc.set(id as usize) {
                 gain[w as usize] -= 1;
             }
         }

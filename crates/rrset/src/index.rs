@@ -100,8 +100,32 @@ pub(crate) enum CsrOffsets {
 }
 
 impl CsrOffsets {
+    /// Width-adaptive packing of a dense `u64` offset array: narrows to
+    /// `u32` whenever the final offset (= total entry count) fits, halving
+    /// the fixed per-slot cost. Used by the inverted index's sealed tier,
+    /// whose counting sort needs the `u64` array anyway.
+    pub(crate) fn from_wide(offsets: Vec<u64>) -> Self {
+        if offsets.last().copied().unwrap_or(0) <= u32::MAX as u64 {
+            CsrOffsets::Narrow(offsets.iter().map(|&o| o as u32).collect())
+        } else {
+            CsrOffsets::Wide(offsets)
+        }
+    }
+
+    /// Width-adaptive rebase of a dense ascending `u64` offset slice:
+    /// subtracts `base` from every offset and collects directly at the
+    /// final width (no intermediate `u64` buffer — this runs on the
+    /// per-selection-round hot path of [`crate::CoverageView::build`]).
+    pub(crate) fn rebased(offsets: &[u64], base: u64) -> Self {
+        if offsets.last().copied().unwrap_or(base) - base <= u32::MAX as u64 {
+            CsrOffsets::Narrow(offsets.iter().map(|&o| (o - base) as u32).collect())
+        } else {
+            CsrOffsets::Wide(offsets.iter().map(|&o| o - base).collect())
+        }
+    }
+
     #[inline]
-    fn span(&self, v: usize) -> Range<usize> {
+    pub(crate) fn span(&self, v: usize) -> Range<usize> {
         match self {
             CsrOffsets::Narrow(o) => o[v] as usize..o[v + 1] as usize,
             CsrOffsets::Wide(o) => o[v] as usize..o[v + 1] as usize,
@@ -115,7 +139,7 @@ impl CsrOffsets {
         }
     }
 
-    fn memory_bytes(&self) -> u64 {
+    pub(crate) fn memory_bytes(&self) -> u64 {
         match self {
             CsrOffsets::Narrow(o) => (o.capacity() * std::mem::size_of::<u32>()) as u64,
             CsrOffsets::Wide(o) => (o.capacity() * std::mem::size_of::<u64>()) as u64,
@@ -329,11 +353,7 @@ impl TwoTierIndex {
             });
         }
 
-        self.index_offsets = if entries <= u32::MAX as usize {
-            CsrOffsets::Narrow(index_offsets.iter().map(|&o| o as u32).collect())
-        } else {
-            CsrOffsets::Wide(index_offsets)
-        };
+        self.index_offsets = CsrOffsets::from_wide(index_offsets);
         self.index_data = index_data;
         self.sealed_sets = total_sets as u32;
         self.indexed_sets = total_sets as u32;

@@ -6,8 +6,13 @@
 //! * **Max-Coverage** (Algorithm 2 of the paper): pick `k` nodes covering
 //!   the most RR sets — [`max_coverage`] implements the standard greedy
 //!   with a lazy priority queue (gains are submodular, so stale heap
-//!   entries are safe), [`max_coverage_naive`] the textbook rescan version
-//!   used for cross-checks and ablation benches.
+//!   entries are safe), running on a selection-time [`CoverageView`]: a
+//!   sealed CSR-transposed snapshot of the queried pool slice that turns
+//!   decremental gain updates into contiguous slice sweeps with a
+//!   generation-stamped covered bitset ([`GreedyScratch`], reusable
+//!   across rounds via [`max_coverage_with`]). [`max_coverage_naive`] is
+//!   the textbook rescan version used for cross-checks and ablation
+//!   benches.
 //! * **Coverage queries**: `Cov_R(S)` for the stopping conditions —
 //!   [`RrCollection::coverage_of`].
 //!
@@ -26,10 +31,14 @@
 
 mod bucket;
 mod collection;
+mod coverage;
 mod greedy;
 mod index;
 
 pub use bucket::max_coverage_bucket;
 pub use collection::RrCollection;
-pub use greedy::{max_coverage, max_coverage_naive, max_coverage_range, CoverageResult};
+pub use coverage::{max_coverage_with, CoverageView, GreedyScratch};
+pub use greedy::{
+    max_coverage, max_coverage_naive, max_coverage_pre_refactor, max_coverage_range, CoverageResult,
+};
 pub use index::SetIds;

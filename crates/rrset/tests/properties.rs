@@ -6,7 +6,10 @@ use proptest::prelude::*;
 
 use sns_diffusion::RrMeta;
 use sns_graph::NodeId;
-use sns_rrset::{max_coverage, max_coverage_naive, RrCollection};
+use sns_rrset::{
+    max_coverage, max_coverage_naive, max_coverage_pre_refactor, max_coverage_range,
+    max_coverage_with, GreedyScratch, RrCollection,
+};
 
 const N: u32 = 24;
 
@@ -131,6 +134,65 @@ proptest! {
         prop_assert!(together >= rc.coverage_of(&[a]));
     }
 
+    /// `max_coverage_range` over the full id range is exactly
+    /// `max_coverage` — same seeds, gains and coverage (both run on the
+    /// coverage view; this pins the range plumbing, not just totals).
+    #[test]
+    fn full_range_equals_max_coverage(sets in pool_strategy(), k in 1usize..6) {
+        let rc = build(&sets);
+        let full = max_coverage_range(&rc, k, 0..rc.len() as u32);
+        let plain = max_coverage(&rc, k);
+        prop_assert_eq!(full, plain);
+    }
+
+    /// A range starting at a nonzero offset must behave exactly like a
+    /// fresh pool holding only the sets of that range: the coverage
+    /// view's slot rebasing cannot leak absolute ids anywhere.
+    #[test]
+    fn offset_range_equals_truncated_pool(
+        sets in pool_strategy(),
+        lo_frac in 0.0f64..=1.0,
+        hi_frac in 0.0f64..=1.0,
+        k in 1usize..6,
+    ) {
+        let rc = build(&sets);
+        let total = rc.len() as u32;
+        let lo = (f64::from(total) * lo_frac) as u32;
+        let hi = (f64::from(total) * hi_frac) as u32;
+        let (lo, hi) = (lo.min(hi), lo.max(hi));
+        let ranged = max_coverage_range(&rc, k, lo..hi);
+        let sliced = build(&sets[lo as usize..hi as usize]);
+        let expect = max_coverage(&sliced, k);
+        prop_assert_eq!(ranged, expect);
+    }
+
+    /// Empty ranges (anywhere in the pool) cover nothing and only pad.
+    #[test]
+    fn empty_range_only_pads(sets in pool_strategy(), at_frac in 0.0f64..=1.0, k in 0usize..6) {
+        let rc = build(&sets);
+        let at = (f64::from(rc.len() as u32) * at_frac) as u32;
+        let r = max_coverage_range(&rc, k, at..at);
+        prop_assert_eq!(r.covered, 0);
+        prop_assert_eq!(r.seeds.len(), k.min(N as usize));
+        prop_assert!(r.marginal_gains.iter().all(|&g| g == 0));
+    }
+
+    /// One `GreedyScratch` reused across arbitrary pools, ranges and k
+    /// (the SSA/D-SSA usage pattern) never contaminates later runs.
+    #[test]
+    fn scratch_reuse_matches_fresh_runs(
+        pools in proptest::collection::vec((pool_strategy(), 1usize..6), 1..6),
+    ) {
+        let mut scratch = GreedyScratch::new();
+        for (sets, k) in pools {
+            let rc = build(&sets);
+            let half = rc.len() as u32 / 2;
+            let reused = max_coverage_with(&rc, k, 0..half, &mut scratch);
+            let fresh = max_coverage_range(&rc, k, 0..half);
+            prop_assert_eq!(reused, fresh);
+        }
+    }
+
     /// Two-tier index ≡ naive rescan: across random interleavings of
     /// pushes and forced epoch seals, `sets_containing_in` must return
     /// exactly the ids a linear scan of the arena finds, ascending, for
@@ -213,6 +275,54 @@ fn extend_parallel_bit_identical_across_thread_counts() {
                     "{model}: node {v} index differs at {threads} threads"
                 );
             }
+        }
+    }
+}
+
+/// Acceptance criterion of the coverage-view refactor: on a 100k-node
+/// Barabási–Albert pool, `max_coverage` (and the ranged/scratch entry
+/// points SSA, D-SSA, IMM and TIM use) must return **bit-identical**
+/// seeds, marginal gains and coverage to the pre-refactor lazy-heap
+/// implementation — including on D-SSA-style half ranges and on a pool
+/// whose index still has a pending chain tail.
+#[test]
+fn greedy_bit_identical_to_pre_refactor_on_100k_ba_pool() {
+    use sns_diffusion::{Model, RootDist, RrSampler};
+    use sns_graph::{gen, WeightModel};
+
+    let g = gen::barabasi_albert(100_000, 4, gen::Orientation::RandomSingle, 7)
+        .build(WeightModel::WeightedCascade)
+        .unwrap();
+    let sampler = RrSampler::with_config(&g, Model::IndependentCascade, RootDist::Uniform, 3);
+    let mut rc = RrCollection::new(g.num_nodes());
+    rc.extend_parallel(&sampler, 0, 15_000, 8);
+    // Leave a pending tail so the reference path also exercises the chain
+    // tier the view replaces.
+    {
+        let mut s = sampler.clone();
+        let mut rr = Vec::new();
+        for i in 0..500u64 {
+            let meta = s.sample(15_000 + i, &mut rr);
+            rc.push(&rr, meta);
+        }
+    }
+    assert!(rc.pending_sets() > 0, "pool must end with a pending chain tail");
+
+    let total = rc.len() as u32;
+    let mut scratch = GreedyScratch::new();
+    for (k, range) in [
+        (1, 0..total),
+        (50, 0..total),
+        (50, 0..total / 2),     // D-SSA find half
+        (20, total / 3..total), // nonzero offset
+    ] {
+        let reference = max_coverage_pre_refactor(&rc, k, range.clone());
+        let plain = max_coverage_range(&rc, k, range.clone());
+        let reused = max_coverage_with(&rc, k, range.clone(), &mut scratch);
+        assert_eq!(plain, reference, "k={k} range={range:?}");
+        assert_eq!(reused, reference, "k={k} range={range:?} (scratch reuse)");
+        if range == (0..total) {
+            assert_eq!(max_coverage(&rc, k), reference, "k={k} full-pool entry point");
         }
     }
 }

@@ -6,6 +6,12 @@
 //! iterations or the group's `measurement_time` budget is exhausted.
 //! Results (mean/min/max wall time per iteration) print to stdout in a
 //! stable `bench-name/id: ...` format that downstream tooling can grep.
+//!
+//! Like real criterion, passing `--test` (what `cargo bench -- --test`
+//! forwards, and what the CI bench-smoke job relies on) switches to
+//! **test mode**: every benchmark routine — including its setup code —
+//! executes exactly once, unmeasured, so panicking setup or bit-rotted
+//! bench code fails the run instead of being skipped.
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
@@ -46,14 +52,21 @@ impl From<String> for BenchmarkId {
 pub struct Bencher {
     sample_size: usize,
     measurement_time: Duration,
+    test_mode: bool,
     /// Mean/min/max nanoseconds per iteration, filled by [`Bencher::iter`].
     result: Option<(f64, f64, f64)>,
     iters: u64,
 }
 
 impl Bencher {
-    /// Times `routine`, storing per-iteration statistics.
+    /// Times `routine`, storing per-iteration statistics. In test mode
+    /// the routine runs exactly once and nothing is recorded.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            self.iters = 1;
+            return;
+        }
         // Warm-up (also primes caches/allocations).
         black_box(routine());
         let budget = self.measurement_time;
@@ -134,6 +147,7 @@ impl BenchmarkGroup<'_> {
         let mut b = Bencher {
             sample_size: self.sample_size,
             measurement_time: self.measurement_time,
+            test_mode: self.criterion.test_mode,
             result: None,
             iters: 0,
         };
@@ -151,6 +165,7 @@ impl BenchmarkGroup<'_> {
         let mut b = Bencher {
             sample_size: self.sample_size,
             measurement_time: self.measurement_time,
+            test_mode: self.criterion.test_mode,
             result: None,
             iters: 0,
         };
@@ -161,6 +176,13 @@ impl BenchmarkGroup<'_> {
 
     fn report(&mut self, id: &BenchmarkId, b: &Bencher) {
         let full = format!("{}/{}", self.name, id.id);
+        if self.criterion.test_mode {
+            // A routine that never reaches Bencher::iter is exactly the
+            // bit-rot the smoke run exists to catch — fail loudly.
+            assert!(b.iters > 0, "Testing {full}: Bencher::iter never called");
+            println!("Testing {full}: ok (1 unmeasured iteration)");
+            return;
+        }
         match b.result {
             Some((mean, min, max)) => {
                 println!(
@@ -207,9 +229,21 @@ pub struct BenchResult {
 pub struct Criterion {
     /// All measurements recorded so far.
     pub results: Vec<BenchResult>,
+    test_mode: bool,
 }
 
 impl Criterion {
+    /// Enables test mode (see the module docs): every benchmark routine
+    /// runs exactly once, unmeasured, and `results` stays empty.
+    pub fn test_mode(mut self, on: bool) -> Self {
+        self.test_mode = on;
+        self
+    }
+
+    /// Whether this instance is in test mode.
+    pub fn is_test_mode(&self) -> bool {
+        self.test_mode
+    }
     /// Starts a benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let name = name.into();
@@ -250,14 +284,13 @@ macro_rules! criterion_group {
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
-            // `cargo test`/`cargo bench` pass harness flags; a bare
-            // `--test` run should not grind through full measurements.
+            // `cargo bench -- --test` (the CI bench-smoke job) runs every
+            // routine once, unmeasured, so panicking setup still fails.
             let quick = std::env::args().any(|a| a == "--test");
             if quick {
-                println!("criterion shim: --test run, skipping measurements");
-                return;
+                println!("criterion shim: --test run, one unmeasured iteration per bench");
             }
-            let mut c = $crate::Criterion::default();
+            let mut c = $crate::Criterion::default().test_mode(quick);
             $( $group(&mut c); )+
         }
     };
@@ -293,5 +326,28 @@ mod tests {
         let mut c = Criterion::default();
         benches(&mut c);
         assert!(!c.results.is_empty());
+    }
+
+    #[test]
+    fn test_mode_runs_each_routine_once_without_recording() {
+        let mut c = Criterion::default().test_mode(true);
+        assert!(c.is_test_mode());
+        let mut calls = 0u32;
+        {
+            let mut group = c.benchmark_group("smoke");
+            group.sample_size(50).measurement_time(Duration::from_secs(30));
+            group.bench_function("counted", |b| b.iter(|| calls += 1));
+            group.finish();
+        }
+        assert_eq!(calls, 1, "test mode must execute the routine exactly once");
+        assert!(c.results.is_empty(), "test mode records no measurements");
+    }
+
+    #[test]
+    #[should_panic(expected = "Bencher::iter never called")]
+    fn test_mode_fails_when_iter_is_never_called() {
+        let mut c = Criterion::default().test_mode(true);
+        let mut group = c.benchmark_group("smoke");
+        group.bench_function("bit-rotted", |_b| {});
     }
 }
