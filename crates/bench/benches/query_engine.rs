@@ -1,0 +1,117 @@
+//! Frozen-pool seed-query engine vs per-call histogram rebuilds.
+//!
+//! The regime the engine exists for: one sealed 60k-set pool answering
+//! query after query. Measures, on the shared 100k-node Barabási–Albert
+//! pool, (a) repeated `k = 50` selection through the engine (frozen
+//! [`GainSnapshot`], memcpy'd gains) vs `max_coverage_with` (per-call
+//! histogram + heap-seed rebuild) — full pool and a D-SSA-style half
+//! range; (b) the one-off snapshot build cost the fast path amortizes;
+//! (c) a heterogeneous 16-query batch at 1 and 4 worker threads; and
+//! (d) a weighted (TVM root weights) query, which has no frozen-gain
+//! shortcut and bounds what the snapshot saves.
+//!
+//! Results land in `BENCH_query_engine.json` (shared `BENCH_*.json`
+//! schema) together with the deterministic sample-count `counters` the
+//! warn-only `bench_diff` CI step tracks — see
+//! `sns_bench::sample_counts`.
+
+use std::time::Duration;
+
+use criterion::{BenchmarkId, Criterion};
+
+use sns_core::{SeedQuery, SeedQueryEngine};
+use sns_rrset::{max_coverage_with, CoverageView, GainSnapshot, GreedyScratch};
+
+#[path = "support/mod.rs"]
+mod support;
+
+const K: usize = 50;
+
+fn bench_queries(c: &mut Criterion, engine: &SeedQueryEngine, threaded: &SeedQueryEngine) {
+    let pool = engine.pool();
+    let total = pool.len() as u32;
+    let mut group = c.benchmark_group("query_engine_k50");
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_secs(1));
+    group.sample_size(10);
+
+    for (label, range) in [("full", 0..total), ("half", 0..total / 2)] {
+        // The engine's contract: bit-identical to the per-call path.
+        let engine_answer =
+            engine.answer(&SeedQuery::top_k(K).over_range(range.clone())).expect("valid query");
+        let direct = max_coverage_with(pool, K, range.clone(), &mut GreedyScratch::new());
+        assert_eq!(engine_answer.seeds, direct.seeds, "engine and direct greedy disagree");
+
+        let query = SeedQuery::top_k(K).over_range(range.clone());
+        group.bench_with_input(BenchmarkId::new("engine-frozen-gains", label), &query, |b, q| {
+            b.iter(|| engine.answer(q).expect("valid query").covered)
+        });
+        let mut scratch = GreedyScratch::new();
+        group.bench_with_input(BenchmarkId::new("per-call-histogram", label), pool, |b, pool| {
+            b.iter(|| max_coverage_with(pool, K, range.clone(), &mut scratch).covered)
+        });
+        group.bench_with_input(BenchmarkId::new("snapshot-build-only", label), pool, |b, pool| {
+            b.iter(|| GainSnapshot::build(&CoverageView::build(pool, range.clone())).range().end)
+        });
+    }
+
+    // Heterogeneous batch: budgets 1..=16 alternating full/half ranges.
+    let batch: Vec<SeedQuery> = (1..=16usize)
+        .map(|k| {
+            let q = SeedQuery::top_k(3 * k);
+            if k % 2 == 0 {
+                q.over_range(0..total / 2)
+            } else {
+                q
+            }
+        })
+        .collect();
+    assert_eq!(
+        engine.answer_batch(&batch).expect("valid batch"),
+        threaded.answer_batch(&batch).expect("valid batch"),
+        "batch answers must not depend on worker threads"
+    );
+    group.bench_with_input(BenchmarkId::new("batch-16", "1-thread"), &batch, |b, batch| {
+        b.iter(|| engine.answer_batch(batch).expect("valid batch").len())
+    });
+    group.bench_with_input(BenchmarkId::new("batch-16", "4-threads"), &batch, |b, batch| {
+        b.iter(|| threaded.answer_batch(batch).expect("valid batch").len())
+    });
+
+    // Weighted query: per-query gains, no snapshot to amortize.
+    let weights: Vec<f64> =
+        (0..pool.num_nodes()).map(|v| if v % 10 == 0 { 1.0 } else { 0.0 }).collect();
+    let weighted = SeedQuery::top_k(K).with_root_weights(weights);
+    group.bench_with_input(BenchmarkId::new("weighted-query", "full"), &weighted, |b, q| {
+        b.iter(|| engine.answer(q).expect("valid query").covered)
+    });
+    group.finish();
+}
+
+fn main() {
+    // `cargo bench -p sns-bench -- --test` (the CI bench-smoke job):
+    // pool build, bit-identity asserts and one iteration of every
+    // routine still execute, unmeasured; only the measurement loop and
+    // the JSON snapshot are skipped.
+    let test_mode = std::env::args().any(|a| a == "--test");
+    if test_mode {
+        println!("query_engine: --test run, one unmeasured iteration per bench");
+    }
+    let mut c = Criterion::default().test_mode(test_mode);
+    let pool = support::ba_pool();
+    println!(
+        "pool: {} sets, {} entries, sealed {} / pending {}",
+        pool.len(),
+        pool.total_nodes(),
+        pool.sealed_sets(),
+        pool.pending_sets()
+    );
+    let gamma = f64::from(pool.num_nodes());
+    let engine = SeedQueryEngine::from_pool(pool.clone(), gamma);
+    let threaded = SeedQueryEngine::from_pool(pool, gamma).with_threads(4);
+    bench_queries(&mut c, &engine, &threaded);
+    if !test_mode {
+        let counters = sns_bench::sample_counts::counters();
+        support::write_bench_json_with_counters(&c, "BENCH_query_engine.json", &counters);
+    }
+}

@@ -42,6 +42,16 @@ pub fn ba_pool() -> RrCollection {
 /// "mean_ns", "min_ns", "max_ns", "iters"}], "host_cores"}` — shared by
 /// every `BENCH_*.json` snapshot).
 pub fn write_bench_json(c: &Criterion, file_name: &str) {
+    write_bench_json_with_counters(c, file_name, &[]);
+}
+
+/// [`write_bench_json`] with an extra `"counters"` object of named
+/// deterministic integers (e.g. algorithm sample counts) appended after
+/// the timing entries. Unlike the nanosecond fields, counters are
+/// machine-independent, so `bench_diff` (the warn-only CI check) can
+/// compare them exactly against the checked-in baselines under
+/// `results/bench_baselines/`.
+pub fn write_bench_json_with_counters(c: &Criterion, file_name: &str, counters: &[(&str, u64)]) {
     let manifest = env!("CARGO_MANIFEST_DIR");
     let path = std::path::Path::new(manifest)
         .ancestors()
@@ -56,8 +66,17 @@ pub fn write_bench_json(c: &Criterion, file_name: &str) {
             r.name, r.mean_ns, r.min_ns, r.max_ns, r.iters, sep
         ));
     }
+    out.push_str("  ],\n");
+    if !counters.is_empty() {
+        out.push_str("  \"counters\": {\n");
+        for (i, (name, value)) in counters.iter().enumerate() {
+            let sep = if i + 1 == counters.len() { "" } else { "," };
+            out.push_str(&format!("    \"{name}\": {value}{sep}\n"));
+        }
+        out.push_str("  },\n");
+    }
     let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
-    out.push_str(&format!("  ],\n  \"host_cores\": {cores}\n}}\n"));
+    out.push_str(&format!("  \"host_cores\": {cores}\n}}\n"));
     std::fs::write(&path, out).unwrap_or_else(|e| panic!("write {file_name}: {e}"));
     println!("wrote {}", path.display());
 }

@@ -1,0 +1,142 @@
+//! `bench_diff` — warn-only sample-count regression check (CI).
+//!
+//! Timing numbers drift with hardware, but the `"counters"` fields of
+//! the `BENCH_*.json` snapshots (algorithm RR-set totals on fixed
+//! fixtures) are deterministic: seeded RNG streams, thread-invariant
+//! pools. This binary recomputes them from scratch
+//! ([`sns_bench::sample_counts::counters`]) and diffs them — and any
+//! counters found in checked-in `BENCH_*.json` snapshots — against the
+//! baseline file `results/bench_baselines/sample_counts.json`. Any
+//! mismatch prints a GitHub-annotation warning; the exit code is always
+//! 0 (the check flags, humans judge). This is the guard that would have
+//! caught the Λ-dropped D-SSA stopping rule (~4× over-sampling at
+//! identical wall-time per sample) mechanically.
+//!
+//! ```sh
+//! cargo run --release -p sns-bench --bin bench_diff          # check
+//! cargo run --release -p sns-bench --bin bench_diff -- --write  # rebaseline
+//! ```
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+const BASELINE: &str = "results/bench_baselines/sample_counts.json";
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root exists")
+        .to_path_buf()
+}
+
+/// Extracts the `"name": integer` pairs of a top-level `"counters"`
+/// object from our fixed-layout snapshot JSON (one pair per line — the
+/// format `write_bench_json_with_counters` and `--write` emit).
+fn parse_counters(json: &str) -> BTreeMap<String, u64> {
+    let mut out = BTreeMap::new();
+    let Some(start) = json.find("\"counters\"") else { return out };
+    for line in json[start..].lines().skip(1) {
+        let line = line.trim().trim_end_matches(',');
+        if line.starts_with('}') {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            let name = name.trim().trim_matches('"');
+            if let Ok(value) = value.trim().parse::<u64>() {
+                out.insert(name.to_string(), value);
+            }
+        }
+    }
+    out
+}
+
+fn write_baseline(path: &Path, counters: &[(&str, u64)]) {
+    let mut out = String::from("{\n  \"counters\": {\n");
+    for (i, (name, value)) in counters.iter().enumerate() {
+        let sep = if i + 1 == counters.len() { "" } else { "," };
+        out.push_str(&format!("    \"{name}\": {value}{sep}\n"));
+    }
+    out.push_str("  }\n}\n");
+    std::fs::create_dir_all(path.parent().expect("baseline path has a parent"))
+        .expect("create baseline dir");
+    std::fs::write(path, out).expect("write baseline");
+    println!("wrote {}", path.display());
+}
+
+/// Diffs `got` against `baseline`, printing warn-only annotations.
+/// Returns the number of mismatches.
+fn diff(source: &str, got: &BTreeMap<String, u64>, baseline: &BTreeMap<String, u64>) -> usize {
+    let mut mismatches = 0;
+    for (name, &value) in got {
+        match baseline.get(name) {
+            None => println!(
+                "::warning::{source}: counter {name} = {value} has no baseline — \
+                 rebaseline with `bench_diff --write`"
+            ),
+            Some(&want) if want != value => {
+                mismatches += 1;
+                let ratio = value as f64 / want as f64;
+                println!(
+                    "::warning::{source}: counter {name} = {value}, baseline {want} \
+                     ({ratio:.2}x) — sample-count behavior changed; if intended, \
+                     rebaseline with `bench_diff --write`"
+                );
+            }
+            Some(_) => println!("{source}: {name} = {value} matches baseline"),
+        }
+    }
+    mismatches
+}
+
+fn main() {
+    let root = workspace_root();
+    let baseline_path = root.join(BASELINE);
+    println!("recomputing deterministic sample counters (seconds)...");
+    let fresh = sns_bench::sample_counts::counters();
+
+    if std::env::args().any(|a| a == "--write") {
+        write_baseline(&baseline_path, &fresh);
+        return;
+    }
+
+    let Ok(baseline_json) = std::fs::read_to_string(&baseline_path) else {
+        println!("::warning::no baseline at {BASELINE} — create one with `bench_diff --write`");
+        return;
+    };
+    let baseline = parse_counters(&baseline_json);
+    let fresh_map: BTreeMap<String, u64> = fresh.iter().map(|&(n, v)| (n.to_string(), v)).collect();
+    let mut mismatches = diff("recomputed", &fresh_map, &baseline);
+    // Orphaned baseline entries matter too: a renamed or deleted counter
+    // must not silently shrink what the guard guards.
+    for name in baseline.keys().filter(|n| !fresh_map.contains_key(*n)) {
+        mismatches += 1;
+        println!(
+            "::warning::baseline counter {name} is no longer computed — if the fixture was \
+             renamed or removed on purpose, rebaseline with `bench_diff --write`"
+        );
+    }
+
+    // Also diff the counters embedded in checked-in BENCH_*.json
+    // snapshots (stale snapshots after a behavior change are worth a
+    // nudge, even though the recomputed pass above is authoritative).
+    if let Ok(entries) = std::fs::read_dir(&root) {
+        for entry in entries.flatten() {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if !(name.starts_with("BENCH_") && name.ends_with(".json")) {
+                continue;
+            }
+            let Ok(json) = std::fs::read_to_string(entry.path()) else { continue };
+            let counters = parse_counters(&json);
+            if !counters.is_empty() {
+                mismatches += diff(&name, &counters, &baseline);
+            }
+        }
+    }
+
+    if mismatches == 0 {
+        println!("bench_diff: all sample counters match their baselines");
+    } else {
+        println!("bench_diff: {mismatches} counter mismatch(es) — warnings only, not failing CI");
+    }
+}

@@ -28,3 +28,4 @@ pub mod config;
 pub mod datasets;
 pub mod experiments;
 pub mod report;
+pub mod sample_counts;

@@ -1,0 +1,59 @@
+//! Deterministic sample-count counters — the mechanical guard for the
+//! Λ-regression bug class.
+//!
+//! PR 3 fixed D-SSA's stopping rule dropping the Λ factor from its
+//! ε₂/ε₃ denominators (~4× over-sampling on D2-bound instances). Timing
+//! benches would never have caught it — the code was *fast*, it just
+//! sampled too much — but the realized RR-set totals are fully
+//! deterministic (seeded RNG streams, thread-invariant pools), so they
+//! can be diffed exactly against checked-in baselines. [`counters`]
+//! computes the totals on the `tests/paper_claims.rs` regression
+//! fixtures; the `bench_diff` binary compares them (warn-only) in CI,
+//! and the `query_engine` bench embeds them in `BENCH_query_engine.json`.
+
+use sns_core::{Dssa, Params, SamplingContext, Ssa};
+use sns_diffusion::Model;
+use sns_graph::{gen, WeightModel};
+
+/// The tracked `(name, value)` counters, recomputed from scratch
+/// (seconds of work; all streams seeded). Names are stable — `bench_diff`
+/// treats a missing baseline entry as "new counter, record it".
+pub fn counters() -> Vec<(&'static str, u64)> {
+    // Fixture A: the D2-bound instance of the Λ regression test —
+    // ER(400, 2400), IC, k = 80, ε = 0.1, δ = 0.1. Pre-fix: 19184.
+    let er = gen::erdos_renyi(400, 2400, 3).build(WeightModel::WeightedCascade).unwrap();
+    let params_a = Params::new(80, 0.1, 0.1).unwrap();
+    let ctx_a = SamplingContext::new(&er, Model::IndependentCascade).with_seed(9);
+    let dssa_er = Dssa::new(params_a).run(&ctx_a).unwrap();
+    let ssa_er = Ssa::new(params_a).run(&ctx_a).unwrap();
+
+    // Fixture B: the D1-bound instance — RMAT(2000, 12000), LT, k = 10,
+    // ε = 0.3, δ = 0.1. The fix must leave it untouched (1200).
+    let rmat = gen::rmat(2000, 12_000, gen::RmatParams::GRAPH500, 7)
+        .build(WeightModel::WeightedCascade)
+        .unwrap();
+    let params_b = Params::new(10, 0.3, 0.1).unwrap();
+    let ctx_b = SamplingContext::new(&rmat, Model::LinearThreshold).with_seed(5);
+    let dssa_rmat = Dssa::new(params_b).run(&ctx_b).unwrap();
+    let ssa_rmat = Ssa::new(params_b).run(&ctx_b).unwrap();
+
+    vec![
+        ("dssa_er_ic_k80_rr_sets_total", dssa_er.rr_sets_total()),
+        ("ssa_er_ic_k80_rr_sets_total", ssa_er.rr_sets_total()),
+        ("dssa_rmat_lt_k10_rr_sets_total", dssa_rmat.rr_sets_total()),
+        ("ssa_rmat_lt_k10_rr_sets_total", ssa_rmat.rr_sets_total()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_deterministic() {
+        let a = counters();
+        let b = counters();
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&(_, v)| v > 0));
+    }
+}

@@ -21,8 +21,15 @@ use crate::{CoreError, Params, RunResult, SamplingContext};
 ///   condition of Dagum et al.);
 /// * **D2** `ε_t = (ε₁ + ε₂ + ε₁ε₂)(1 − 1/e − ε) + (1 − 1/e)ε₃ ≤ ε` with
 ///   `ε₁ = Î_t/Î^c_t − 1`,
-///   `ε₂ = ε·√(Γ(1+ε)/(2^(t−1)·Î^c_t))`,
-///   `ε₃ = ε·√(Γ(1+ε)(1−1/e−ε)/((1+ε/3)·2^(t−1)·Î^c_t))`.
+///   `ε₂ = ε·√(Γ(1+ε)/(Λ·2^(t−1)·Î^c_t))`,
+///   `ε₃ = ε·√(Γ(1+ε)(1−1/e−ε)/((1+ε/3)·Λ·2^(t−1)·Î^c_t))`.
+///
+/// The `Λ·2^(t−1)` factor in the ε₂/ε₃ denominators is the *find-half
+/// size* `|R_t|` — Algorithm 4 divides by the number of samples backing
+/// `Î^c_t`, not by the bare doubling count. (An earlier revision of this
+/// module dropped the Λ, inflating ε₂/ε₃ by √Λ ≈ 10–13× and costing
+/// every run several needless pool doublings — roughly 4–16× the
+/// type-2-minimal sample count — before D2 could fire.)
 ///
 /// D-SSA achieves the **type-2 minimum threshold** — the fewest samples
 /// any RIS-framework algorithm can use — within a constant factor
@@ -143,11 +150,12 @@ impl Dssa {
             if cov_c as f64 >= lambda1 {
                 // Condition D1 met: derive the dynamic ε-split.
                 let i_c = gamma * cov_c as f64 / half as f64;
-                let two_pow = 2f64.powi(t as i32 - 1);
+                // |R_t| = Λ·2^(t−1) = `half`: the sample count behind Î^c.
+                let find_size = half as f64;
                 let e1 = i_t / i_c - 1.0;
-                let e2 = eps * (gamma * (1.0 + eps) / (two_pow * i_c)).sqrt();
+                let e2 = eps * (gamma * (1.0 + eps) / (find_size * i_c)).sqrt();
                 let e3 = eps
-                    * (gamma * (1.0 + eps) * approx_gap / ((1.0 + eps / 3.0) * two_pow * i_c))
+                    * (gamma * (1.0 + eps) * approx_gap / ((1.0 + eps / 3.0) * find_size * i_c))
                         .sqrt();
                 let eps_t = (e1 + e2 + e1 * e2) * approx_gap + ONE_MINUS_INV_E * e3;
                 record.influence_verify = Some(i_c);
@@ -282,6 +290,23 @@ mod tests {
         assert!(!traced.hit_cap);
         let eps_t = last.eps_t.expect("D1 fired at the stopping iteration");
         assert!(eps_t <= 0.3, "stopping eps_t = {eps_t}");
+        // Pin the Λ-corrected Algorithm-4 split: each passing checkpoint's
+        // ε₂/ε₃ must equal the closed forms with the *find-half size*
+        // Λ·2^(t−1) = pool_size/2 in the denominator. (The Λ-dropped
+        // variant this repairs yields values √Λ ≈ 12× larger here.)
+        let gamma = 400.0;
+        let (eps, gap) = (0.3, ONE_MINUS_INV_E - 0.3);
+        for r in &trace {
+            let Some((_, e2, e3)) = r.epsilons else { continue };
+            let half = r.pool_size as f64 / 2.0;
+            let i_c = r.influence_verify.expect("epsilons imply D1 fired");
+            let want_e2 = eps * (gamma * (1.0 + eps) / (half * i_c)).sqrt();
+            let want_e3 =
+                eps * (gamma * (1.0 + eps) * gap / ((1.0 + eps / 3.0) * half * i_c)).sqrt();
+            assert!((e2 - want_e2).abs() < 1e-12, "e2 = {e2}, want {want_e2}");
+            assert!((e3 - want_e3).abs() < 1e-12, "e3 = {e3}, want {want_e3}");
+            assert!(e2 < eps / 5.0, "Λ-corrected e2 must be far below ε, got {e2}");
+        }
         // ε₂, ε₃ must shrink monotonically across D1-passing checkpoints
         let passing: Vec<_> = trace.iter().filter_map(|r| r.epsilons).collect();
         for w in passing.windows(2) {

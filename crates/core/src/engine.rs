@@ -1,0 +1,432 @@
+//! The frozen-pool seed-query engine — the serving-side counterpart of
+//! the one-shot SSA/D-SSA solvers.
+//!
+//! A solver run ends with a pool of RR sets whose greedy cover *is* the
+//! answer; a service wants to keep that pool and answer many follow-up
+//! questions against it: different budgets `k`, different pool slices,
+//! "what if these influencers are unavailable" (excluded seeds), "we
+//! already signed these" (forced seeds), and "how does it look for
+//! *this* target group" (per-query weighted universes via TVM root
+//! weights). [`SeedQueryEngine`] seals a pool once, freezes the
+//! initial-gain state of each queried slice in a
+//! [`sns_rrset::GainSnapshot`] (built on first use, cached per range),
+//! and answers [`SeedQuery`] batches thread-parallel with per-worker
+//! [`GreedyScratch`]es. Results are **bit-identical** to calling
+//! [`sns_rrset::max_coverage_range`] (or the constrained/weighted
+//! selection) directly, and batch answers are independent of thread
+//! count and batch composition.
+
+use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use sns_graph::NodeId;
+use sns_rrset::{CoverageView, GainSnapshot, GreedyScratch, RrCollection, SeedConstraints};
+
+use crate::{CoreError, SamplingContext};
+
+/// One seed-selection question against a frozen pool. Construct with
+/// [`SeedQuery::top_k`] and refine with the builder methods; the
+/// defaults mean "plain greedy over the whole pool".
+#[derive(Debug, Clone, Default)]
+pub struct SeedQuery {
+    /// Seed budget (clamped to the node count like the solvers).
+    pub k: usize,
+    /// Pool id slice to select over; `None` means the whole pool.
+    pub range: Option<Range<u32>>,
+    /// Seeds selected unconditionally first, consuming budget and
+    /// coverage (e.g. influencers already under contract).
+    pub forced: Vec<NodeId>,
+    /// Nodes the answer must never contain — not even as padding.
+    pub excluded: Vec<NodeId>,
+    /// Per-node target weights `b(v)`: when set, the query maximizes the
+    /// covered *weight* mass (`w_set = b(root)`, uniform-root pools) and
+    /// the influence estimate becomes a targeted influence. See
+    /// `sns_rrset::snapshot` for the estimator.
+    pub root_weights: Option<Vec<f64>>,
+}
+
+impl SeedQuery {
+    /// The plain question: the best `k` seeds over the whole pool.
+    pub fn top_k(k: usize) -> Self {
+        SeedQuery { k, ..SeedQuery::default() }
+    }
+
+    /// Restricts selection to a pool id slice.
+    pub fn over_range(mut self, range: Range<u32>) -> Self {
+        self.range = Some(range);
+        self
+    }
+
+    /// Pre-selects `seeds` (in order) before the greedy loop.
+    pub fn with_forced(mut self, seeds: Vec<NodeId>) -> Self {
+        self.forced = seeds;
+        self
+    }
+
+    /// Forbids `nodes` from appearing in the answer.
+    pub fn with_excluded(mut self, nodes: Vec<NodeId>) -> Self {
+        self.excluded = nodes;
+        self
+    }
+
+    /// Targets the query at the group weighted by `weights` (one
+    /// finite nonnegative entry per node).
+    pub fn with_root_weights(mut self, weights: Vec<f64>) -> Self {
+        self.root_weights = Some(weights);
+        self
+    }
+}
+
+/// Answer to one [`SeedQuery`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeedAnswer {
+    /// Selected seeds, in selection order (forced seeds first).
+    pub seeds: Vec<NodeId>,
+    /// Covered in-range sets (unweighted queries) or covered weight mass
+    /// (weighted queries).
+    pub covered: f64,
+    /// `Γ·covered/|slice|` — the Lemma-1 influence estimate of `seeds`
+    /// over the queried slice (targeted influence for weighted queries).
+    pub influence_estimate: f64,
+    /// Marginal (weighted) coverage gain of each seed when selected.
+    pub marginal_gains: Vec<f64>,
+    /// The pool id slice the query ran over.
+    pub range: Range<u32>,
+}
+
+/// A sealed RR-set pool plus cached per-range [`GainSnapshot`]s, serving
+/// [`SeedQuery`] batches (see the module docs).
+#[derive(Debug)]
+pub struct SeedQueryEngine {
+    pool: RrCollection,
+    gamma: f64,
+    threads: usize,
+    /// Frozen initial-gain state per queried `(start, end)` slice, built
+    /// on first use. Snapshot contents are a pure function of the sealed
+    /// pool and the range, so a racing double-build is harmless — both
+    /// instances are identical and either may be cached.
+    snapshots: Mutex<HashMap<(u32, u32), Arc<GainSnapshot>>>,
+    /// Selection scratch reused by [`SeedQueryEngine::answer`] — its
+    /// stamp/gain tables stay at high-water size instead of costing an
+    /// `O(n + range)` allocation-plus-zeroing per single query, which
+    /// would rival the very histogram work the snapshot path saves.
+    /// (`answer_batch` workers carry their own, uncontended.)
+    answer_scratch: Mutex<GreedyScratch>,
+}
+
+impl SeedQueryEngine {
+    /// Freezes `pool` (sealing its pending index tier) for serving.
+    /// `gamma` is the universe mass behind influence estimates (`n` for
+    /// uniform-root pools, `Σ b(v)` if the pool itself was WRIS-sampled).
+    pub fn from_pool(mut pool: RrCollection, gamma: f64) -> Self {
+        pool.seal();
+        SeedQueryEngine {
+            pool,
+            gamma,
+            threads: 1,
+            snapshots: Mutex::new(HashMap::new()),
+            answer_scratch: Mutex::new(GreedyScratch::new()),
+        }
+    }
+
+    /// Samples a fresh `count`-set pool from `ctx` (stream 0, the same
+    /// deterministic stream the solvers draw from, parallel per
+    /// `ctx.threads()`) and freezes it. The paper's estimate-then-select
+    /// split as a service: size the pool once with the RIS thresholds of
+    /// [`crate::bounds`] or a prior [`crate::Ssa`]/[`crate::Dssa`] run,
+    /// then answer every follow-up question from the frozen samples.
+    pub fn sample(ctx: &SamplingContext<'_>, count: u64) -> Self {
+        let mut pool = RrCollection::new(ctx.graph().num_nodes());
+        if ctx.threads() > 1 {
+            pool.extend_parallel(&ctx.sampler(0), 0, count, ctx.threads());
+        } else {
+            let mut sampler = ctx.sampler(0);
+            pool.extend_sequential(&mut sampler, 0, count);
+        }
+        Self::from_pool(pool, ctx.gamma()).with_threads(ctx.threads())
+    }
+
+    /// Sets the worker-thread budget for [`SeedQueryEngine::answer_batch`]
+    /// (answers never depend on it).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The frozen pool.
+    pub fn pool(&self) -> &RrCollection {
+        &self.pool
+    }
+
+    /// The universe mass Γ behind influence estimates.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// Answers one query, reusing the engine's cached selection scratch
+    /// (serialized behind a lock — concurrent callers should use
+    /// [`SeedQueryEngine::answer_batch`], whose workers scratch
+    /// independently). Per-range gain snapshots are cached either way.
+    pub fn answer(&self, query: &SeedQuery) -> Result<SeedAnswer, CoreError> {
+        self.validate(query)?;
+        let mut scratch = self.answer_scratch.lock().expect("answer scratch poisoned");
+        Ok(self.answer_validated(query, &mut scratch))
+    }
+
+    /// Answers a batch of heterogeneous queries, thread-parallel across
+    /// queries with per-worker scratches. `answers[i]` corresponds to
+    /// `queries[i]` and is bit-identical to answering sequentially (each
+    /// answer depends only on the frozen pool and its query). The whole
+    /// batch is validated before any work starts.
+    pub fn answer_batch(&self, queries: &[SeedQuery]) -> Result<Vec<SeedAnswer>, CoreError> {
+        for (i, q) in queries.iter().enumerate() {
+            self.validate(q).map_err(|e| CoreError::InvalidParams(format!("query {i}: {e}")))?;
+        }
+        let workers = self.threads.min(queries.len()).max(1);
+        if workers == 1 {
+            let mut scratch = GreedyScratch::new();
+            return Ok(queries.iter().map(|q| self.answer_validated(q, &mut scratch)).collect());
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<OnceLock<SeedAnswer>> = queries.iter().map(|_| OnceLock::new()).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut scratch = GreedyScratch::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(query) = queries.get(i) else { break };
+                        let answer = self.answer_validated(query, &mut scratch);
+                        slots[i].set(answer).expect("each query index claimed once");
+                    }
+                });
+            }
+        });
+        Ok(slots.into_iter().map(|s| s.into_inner().expect("all queries answered")).collect())
+    }
+
+    fn validate(&self, query: &SeedQuery) -> Result<(), CoreError> {
+        let err = |msg: String| Err(CoreError::InvalidParams(msg));
+        let n = self.pool.num_nodes();
+        if query.k == 0 {
+            return err("k must be >= 1".into());
+        }
+        if let Some(r) = &query.range {
+            if r.start > r.end || r.end as usize > self.pool.len() {
+                return err(format!(
+                    "range {r:?} out of bounds for a pool of {} sets",
+                    self.pool.len()
+                ));
+            }
+        }
+        if query.forced.len() > query.k.min(n as usize) {
+            return err(format!(
+                "{} forced seeds exceed the budget k = {}",
+                query.forced.len(),
+                query.k.min(n as usize)
+            ));
+        }
+        for &v in query.forced.iter().chain(&query.excluded) {
+            if v >= n {
+                return err(format!("node {v} out of range (n = {n})"));
+            }
+        }
+        if let Some(f) = query.forced.iter().find(|f| query.excluded.contains(f)) {
+            return err(format!("node {f} is both forced and excluded"));
+        }
+        if let Some(w) = &query.root_weights {
+            if w.len() != n as usize {
+                return err(format!("{} weights for {n} nodes", w.len()));
+            }
+            if let Some((v, &bad)) = w.iter().enumerate().find(|(_, w)| !w.is_finite() || **w < 0.0)
+            {
+                return err(format!("weight b({v}) = {bad} is not finite and nonnegative"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Answers a pre-validated query. Infallible and side-effect-free
+    /// modulo the snapshot cache — the invariant the parallel batch path
+    /// relies on.
+    fn answer_validated(&self, query: &SeedQuery, scratch: &mut GreedyScratch) -> SeedAnswer {
+        let range = query.range.clone().unwrap_or(0..self.pool.len() as u32);
+        let len = (range.end - range.start) as u64;
+        let view = CoverageView::build(&self.pool, range.clone());
+        let constraints = SeedConstraints { forced: &query.forced, excluded: &query.excluded };
+        match &query.root_weights {
+            Some(weights) => {
+                let r = view.select_weighted(query.k, weights, &constraints, scratch);
+                let influence =
+                    if len == 0 { 0.0 } else { self.gamma * r.covered_weight / len as f64 };
+                SeedAnswer {
+                    seeds: r.seeds,
+                    covered: r.covered_weight,
+                    influence_estimate: influence,
+                    marginal_gains: r.marginal_gains,
+                    range,
+                }
+            }
+            None => {
+                let snapshot = self.snapshot_for(&range);
+                let r = view.select_from_snapshot_constrained(
+                    &snapshot,
+                    query.k,
+                    &constraints,
+                    scratch,
+                );
+                let influence = r.influence_estimate(self.gamma, len);
+                SeedAnswer {
+                    seeds: r.seeds,
+                    covered: r.covered as f64,
+                    influence_estimate: influence,
+                    marginal_gains: r.marginal_gains.iter().map(|&g| g as f64).collect(),
+                    range,
+                }
+            }
+        }
+    }
+
+    fn snapshot_for(&self, range: &Range<u32>) -> Arc<GainSnapshot> {
+        let key = (range.start, range.end);
+        if let Some(snap) = self.snapshots.lock().expect("snapshot cache poisoned").get(&key) {
+            return Arc::clone(snap);
+        }
+        // Built outside the lock: O(entries) histogram work must not
+        // serialize the whole batch behind one slow range.
+        let built = Arc::new(GainSnapshot::build(&CoverageView::build(&self.pool, range.clone())));
+        let mut cache = self.snapshots.lock().expect("snapshot cache poisoned");
+        Arc::clone(cache.entry(key).or_insert(built))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dssa, Params};
+    use sns_diffusion::Model;
+    use sns_graph::{gen, WeightModel};
+    use sns_rrset::max_coverage_range;
+
+    fn engine(sets: u64, seed: u64) -> SeedQueryEngine {
+        let g = gen::erdos_renyi(300, 1800, seed).build(WeightModel::WeightedCascade).unwrap();
+        let ctx = SamplingContext::new(&g, Model::IndependentCascade).with_seed(seed);
+        SeedQueryEngine::sample(&ctx, sets)
+    }
+
+    #[test]
+    fn engine_matches_direct_max_coverage() {
+        let e = engine(2000, 1);
+        for k in [1usize, 5, 20] {
+            let ans = e.answer(&SeedQuery::top_k(k)).unwrap();
+            let direct = max_coverage_range(e.pool(), k, 0..2000);
+            assert_eq!(ans.seeds, direct.seeds, "k = {k}");
+            assert_eq!(ans.covered, direct.covered as f64);
+        }
+        // ranged query against the matching direct call
+        let ans = e.answer(&SeedQuery::top_k(4).over_range(500..1500)).unwrap();
+        let direct = max_coverage_range(e.pool(), 4, 500..1500);
+        assert_eq!(ans.seeds, direct.seeds);
+        assert_eq!(ans.range, 500..1500);
+    }
+
+    #[test]
+    fn batch_is_order_preserving_and_thread_invariant() {
+        let e = engine(1500, 2);
+        let queries: Vec<SeedQuery> = (1..=12)
+            .map(|k| {
+                let q = SeedQuery::top_k(k);
+                if k % 2 == 0 {
+                    q.over_range(0..750)
+                } else {
+                    q
+                }
+            })
+            .collect();
+        let sequential = e.answer_batch(&queries).unwrap();
+        let parallel = engine(1500, 2).with_threads(4).answer_batch(&queries).unwrap();
+        assert_eq!(sequential, parallel);
+        for (k, ans) in (1..=12).zip(&sequential) {
+            assert_eq!(ans.seeds.len(), k);
+        }
+    }
+
+    #[test]
+    fn snapshot_cache_serves_repeated_ranges() {
+        let e = engine(1000, 3);
+        let a = e.answer(&SeedQuery::top_k(3).over_range(0..500)).unwrap();
+        let b = e.answer(&SeedQuery::top_k(3).over_range(0..500)).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(e.snapshots.lock().unwrap().len(), 1);
+        e.answer(&SeedQuery::top_k(3)).unwrap();
+        assert_eq!(e.snapshots.lock().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn forced_and_excluded_seeds_respected() {
+        let e = engine(1200, 4);
+        let plain = e.answer(&SeedQuery::top_k(5)).unwrap();
+        let star = plain.seeds[0];
+        let without = e.answer(&SeedQuery::top_k(5).with_excluded(vec![star])).unwrap();
+        assert!(!without.seeds.contains(&star));
+        assert!(without.covered <= plain.covered);
+        let forced = e.answer(&SeedQuery::top_k(5).with_forced(vec![7, 9])).unwrap();
+        assert_eq!(&forced.seeds[..2], &[7, 9]);
+        assert_eq!(forced.seeds.len(), 5);
+    }
+
+    #[test]
+    fn weighted_query_targets_the_group() {
+        // Weight only nodes 0..30: the engine must report targeted
+        // influence ≤ the group mass and pick seeds covering it.
+        let e = engine(3000, 5);
+        let mut w = vec![0.0f64; 300];
+        for slot in w.iter_mut().take(30) {
+            *slot = 1.0;
+        }
+        let ans = e.answer(&SeedQuery::top_k(5).with_root_weights(w.clone())).unwrap();
+        assert_eq!(ans.seeds.len(), 5);
+        // Γ_query = 30, estimate uses the engine's Γ = n with the
+        // weighted coverage — bounded by the actual group reach
+        assert!(ans.influence_estimate <= 30.0 * 1.5, "Î_T = {}", ans.influence_estimate);
+        assert!(ans.covered > 0.0);
+    }
+
+    #[test]
+    fn validation_rejects_malformed_queries() {
+        let e = engine(500, 6);
+        assert!(e.answer(&SeedQuery::top_k(0)).is_err());
+        assert!(e.answer(&SeedQuery::top_k(1).over_range(0..501)).is_err());
+        #[allow(clippy::reversed_empty_ranges)]
+        let backwards = SeedQuery::top_k(1).over_range(10..5);
+        assert!(e.answer(&backwards).is_err());
+        assert!(e.answer(&SeedQuery::top_k(1).with_forced(vec![1, 2])).is_err());
+        assert!(e.answer(&SeedQuery::top_k(1).with_forced(vec![300])).is_err());
+        assert!(e
+            .answer(&SeedQuery::top_k(3).with_forced(vec![5]).with_excluded(vec![5]))
+            .is_err());
+        assert!(e.answer(&SeedQuery::top_k(1).with_root_weights(vec![1.0; 3])).is_err());
+        assert!(e.answer(&SeedQuery::top_k(1).with_root_weights(vec![-1.0; 300])).is_err());
+        // a batch with one bad query fails closed, naming the query
+        let batch = [SeedQuery::top_k(1), SeedQuery::top_k(0)];
+        let err = e.answer_batch(&batch).unwrap_err().to_string();
+        assert!(err.contains("query 1"), "{err}");
+    }
+
+    #[test]
+    fn engine_reuses_a_solver_sized_pool() {
+        // The intended deployment: D-SSA sizes the pool, the engine
+        // serves from a pool of that size and reproduces the solution.
+        let g = gen::erdos_renyi(300, 1800, 7).build(WeightModel::WeightedCascade).unwrap();
+        let params = Params::new(5, 0.3, 0.1).unwrap();
+        let ctx = SamplingContext::new(&g, Model::IndependentCascade).with_seed(11);
+        let run = Dssa::new(params).run(&ctx).unwrap();
+        let e = SeedQueryEngine::sample(&ctx, run.rr_sets_main);
+        // D-SSA selected over its find half [0, main/2)
+        let ans =
+            e.answer(&SeedQuery::top_k(5).over_range(0..run.rr_sets_main as u32 / 2)).unwrap();
+        assert_eq!(ans.seeds, run.seeds, "engine must reproduce the solver's cover");
+    }
+}

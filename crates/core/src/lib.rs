@@ -22,6 +22,11 @@
 //!   distribution and seeding. With uniform roots the algorithms solve
 //!   classic IM; with weighted roots (WRIS) they solve targeted viral
 //!   marketing — the generalization used by the `sns-tvm` crate.
+//! * [`SeedQueryEngine`] — the frozen-pool serving layer: seal one RR
+//!   pool, snapshot its initial gains per queried slice, and answer
+//!   batches of heterogeneous [`SeedQuery`]s (varying `k`, id ranges,
+//!   forced/excluded seeds, per-query target weights) thread-parallel
+//!   and bit-identical to direct Max-Coverage calls.
 //!
 //! Both algorithms return `(1 − 1/e − ε)`-approximate seed sets with
 //! probability at least `1 − δ`.
@@ -47,6 +52,7 @@ pub mod bounds;
 
 mod context;
 mod dssa;
+mod engine;
 mod error;
 mod estimate_inf;
 mod framework;
@@ -56,8 +62,9 @@ mod ssa;
 
 pub use context::SamplingContext;
 pub use dssa::{Dssa, DssaIteration};
+pub use engine::{SeedAnswer, SeedQuery, SeedQueryEngine};
 pub use error::CoreError;
-pub use estimate_inf::{estimate_inf, estimate_inf_with_sink, EstimateInfOutcome};
+pub use estimate_inf::{estimate_inf, estimate_inf_with_sink, EstimateInfOutcome, EstimateScratch};
 pub use framework::{ris_fixed_pool, RisThresholds};
 pub use params::{Params, SsaEpsilons};
 pub use result::RunResult;

@@ -59,7 +59,28 @@ use std::ops::Range;
 use sns_graph::NodeId;
 
 use crate::index::CsrOffsets;
+use crate::snapshot::GainSnapshot;
 use crate::{CoverageResult, RrCollection};
+
+/// Side conditions a seed-query places on greedy selection: `forced`
+/// seeds are selected first (in the given order, consuming budget and
+/// coverage), `excluded` nodes are never selected — not even as zero-gain
+/// padding. Empty constraints reproduce plain greedy exactly.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SeedConstraints<'a> {
+    /// Seeds selected unconditionally before the greedy loop, in order.
+    /// Must number at most `k`; duplicates are selected once.
+    pub forced: &'a [NodeId],
+    /// Nodes the selection must never return.
+    pub excluded: &'a [NodeId],
+}
+
+impl SeedConstraints<'_> {
+    /// No constraints — plain greedy.
+    pub fn none() -> Self {
+        SeedConstraints::default()
+    }
+}
 
 /// Range-rebased forward (`set → members`) CSR snapshot of a pool slice
 /// (see the module docs). Borrows the pool: the member data is the
@@ -133,28 +154,146 @@ impl<'a> CoverageView<'a> {
     /// generation-stamped covered/selected marks; reusing one scratch
     /// across rounds skips all per-round clearing and reallocation.
     pub fn select(&self, k: usize, scratch: &mut GreedyScratch) -> CoverageResult {
+        self.select_inner(k, &SeedConstraints::none(), scratch, None)
+    }
+
+    /// [`CoverageView::select`] with the histogram pass replaced by a
+    /// memcpy of `snapshot`'s frozen gains and heap seed — the
+    /// frozen-pool fast path for callers answering many queries against
+    /// one sealed slice. Bit-identical to [`CoverageView::select`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `snapshot` was built for a different id range.
+    pub fn select_from_snapshot(
+        &self,
+        snapshot: &GainSnapshot,
+        k: usize,
+        scratch: &mut GreedyScratch,
+    ) -> CoverageResult {
+        self.select_inner(k, &SeedConstraints::none(), scratch, Some(snapshot))
+    }
+
+    /// [`CoverageView::select`] under [`SeedConstraints`]: forced seeds
+    /// are taken first (their coverage removed from every later gain),
+    /// excluded nodes are skipped by both the greedy loop and the
+    /// zero-gain padding. With empty constraints this *is* `select`.
+    pub fn select_constrained(
+        &self,
+        k: usize,
+        constraints: &SeedConstraints<'_>,
+        scratch: &mut GreedyScratch,
+    ) -> CoverageResult {
+        self.select_inner(k, constraints, scratch, None)
+    }
+
+    /// [`CoverageView::select_from_snapshot`] under [`SeedConstraints`] —
+    /// the entry point of `sns-core`'s seed-query engine. Bit-identical
+    /// to [`CoverageView::select_constrained`] on the same inputs.
+    pub fn select_from_snapshot_constrained(
+        &self,
+        snapshot: &GainSnapshot,
+        k: usize,
+        constraints: &SeedConstraints<'_>,
+        scratch: &mut GreedyScratch,
+    ) -> CoverageResult {
+        self.select_inner(k, constraints, scratch, Some(snapshot))
+    }
+
+    /// Walks the sets of `v` within the view's range, marking each
+    /// still-uncovered one covered and decrementing its members' gains —
+    /// the decremental-update sweep shared by greedy picks and forced
+    /// seeds.
+    #[inline]
+    fn cover_sets_of(
+        &self,
+        v: NodeId,
+        generation: u32,
+        covered_stamp: &mut [u32],
+        gain: &mut [u32],
+    ) {
+        for id in self.rc.sets_containing_in(v, self.range.clone()) {
+            let slot = (id - self.range.start) as usize;
+            if covered_stamp[slot] == generation {
+                continue;
+            }
+            covered_stamp[slot] = generation;
+            for &w in self.members(slot) {
+                gain[w as usize] -= 1;
+            }
+        }
+    }
+
+    fn select_inner(
+        &self,
+        k: usize,
+        constraints: &SeedConstraints<'_>,
+        scratch: &mut GreedyScratch,
+        frozen: Option<&GainSnapshot>,
+    ) -> CoverageResult {
         let n = self.rc.num_nodes();
         let k = k.min(n as usize);
+        assert!(
+            constraints.forced.len() <= k,
+            "{} forced seeds exceed the budget k = {k}",
+            constraints.forced.len()
+        );
         let generation = scratch.begin_run(n as usize, self.len());
-
-        // Exact current marginal gain per node, by one streaming
-        // histogram pass over the materialized members (== the in-range
-        // degree `sets_containing_in(v, range).len()` of every node).
-        scratch.gain.clear();
-        scratch.gain.resize(n as usize, 0);
-        let gain = &mut scratch.gain;
-        for &v in self.set_data {
-            gain[v as usize] += 1;
-        }
 
         let mut heap_buf = std::mem::take(&mut scratch.heap_buf);
         heap_buf.clear();
-        heap_buf.extend((0..n).filter(|&v| gain[v as usize] > 0).map(|v| (gain[v as usize], v)));
+        let gain = &mut scratch.gain;
+        gain.clear();
+        match frozen {
+            Some(snapshot) => {
+                // Frozen-pool fast path: both the exact gains and the
+                // nonzero heap seed are memcpys of the snapshot.
+                assert_eq!(
+                    snapshot.range(),
+                    self.range,
+                    "gain snapshot was built for a different pool slice"
+                );
+                gain.extend_from_slice(snapshot.gains());
+                heap_buf.extend_from_slice(snapshot.heap_seed());
+            }
+            None => {
+                // Exact current marginal gain per node, by one streaming
+                // histogram pass over the materialized members (== the
+                // in-range degree `sets_containing_in(v, range).len()`
+                // of every node).
+                gain.resize(n as usize, 0);
+                for &v in self.set_data {
+                    gain[v as usize] += 1;
+                }
+                heap_buf.extend(
+                    (0..n).filter(|&v| gain[v as usize] > 0).map(|v| (gain[v as usize], v)),
+                );
+            }
+        }
         let mut heap: BinaryHeap<(u32, NodeId)> = BinaryHeap::from(heap_buf);
 
         let mut seeds = Vec::with_capacity(k);
         let mut marginal_gains = Vec::with_capacity(k);
         let mut covered = 0u64;
+
+        // Excluded nodes are marked selected up front so neither the
+        // greedy loop nor the padding can return them.
+        for &v in constraints.excluded {
+            scratch.selected_stamp[v as usize] = generation;
+        }
+        for &v in constraints.forced {
+            if scratch.selected_stamp[v as usize] == generation {
+                continue; // duplicate forced seed: selected once
+            }
+            scratch.selected_stamp[v as usize] = generation;
+            let g = gain[v as usize];
+            seeds.push(v);
+            marginal_gains.push(u64::from(g));
+            covered += u64::from(g);
+            if g > 0 {
+                self.cover_sets_of(v, generation, &mut scratch.covered_stamp, gain);
+            }
+        }
 
         while seeds.len() < k {
             let Some((g, v)) = heap.pop() else { break };
@@ -178,16 +317,7 @@ impl<'a> CoverageView<'a> {
             seeds.push(v);
             marginal_gains.push(u64::from(current));
             covered += u64::from(current);
-            for id in self.rc.sets_containing_in(v, self.range.clone()) {
-                let slot = (id - self.range.start) as usize;
-                if scratch.covered_stamp[slot] == generation {
-                    continue;
-                }
-                scratch.covered_stamp[slot] = generation;
-                for &w in self.members(slot) {
-                    gain[w as usize] -= 1;
-                }
-            }
+            self.cover_sets_of(v, generation, &mut scratch.covered_stamp, gain);
             debug_assert_eq!(gain[v as usize], 0);
         }
 
@@ -207,6 +337,23 @@ impl<'a> CoverageView<'a> {
         scratch.heap_buf = heap.into_vec();
         CoverageResult { seeds, covered, marginal_gains }
     }
+
+    /// The raw concatenated member data of the view's slice (what the
+    /// histogram pass streams) — shared with [`GainSnapshot::build`].
+    pub(crate) fn raw_members(&self) -> &[NodeId] {
+        self.set_data
+    }
+
+    /// The pool this view snapshots (for the per-seed inverted queries
+    /// of the weighted selection twin in [`crate::snapshot`]).
+    pub(crate) fn pool(&self) -> &RrCollection {
+        self.rc
+    }
+
+    /// Node-universe size of the underlying pool.
+    pub fn num_nodes(&self) -> u32 {
+        self.rc.num_nodes()
+    }
 }
 
 /// Reusable working state for [`CoverageView::select`]: per-node gains,
@@ -225,11 +372,16 @@ pub struct GreedyScratch {
     /// decrement sweep's random accesses profit from the halved table.
     gain: Vec<u32>,
     /// Per-slot covered mark: covered iff `== generation`.
-    covered_stamp: Vec<u32>,
+    pub(crate) covered_stamp: Vec<u32>,
     /// Per-node selected mark: selected iff `== generation`.
-    selected_stamp: Vec<u32>,
+    pub(crate) selected_stamp: Vec<u32>,
     /// Recycled backing storage of the lazy max-heap.
     heap_buf: Vec<(u32, NodeId)>,
+    /// Weighted-query gain table (`Σ` of covered set weights per node;
+    /// used by [`CoverageView::select_weighted`]).
+    pub(crate) wgain: Vec<f64>,
+    /// Recycled backing storage of the weighted lazy max-heap.
+    pub(crate) wheap_buf: Vec<(crate::snapshot::WeightOrd, NodeId)>,
     /// Current run's stamp; incremented by [`GreedyScratch::begin_run`].
     generation: u32,
 }
@@ -243,7 +395,7 @@ impl GreedyScratch {
     /// Starts a new run: bumps the generation and grows the stamp buffers
     /// to cover `n` nodes and `len` slots. Fresh (zeroed) stamp entries
     /// can never equal a live generation because generations start at 1.
-    fn begin_run(&mut self, n: usize, len: usize) -> u32 {
+    pub(crate) fn begin_run(&mut self, n: usize, len: usize) -> u32 {
         if self.generation == u32::MAX {
             // Wrapped after 2³² runs: zero the stamps so stale marks from
             // generation u32::MAX cannot alias generation numbers that

@@ -34,11 +34,13 @@ mod collection;
 mod coverage;
 mod greedy;
 mod index;
+mod snapshot;
 
 pub use bucket::max_coverage_bucket;
 pub use collection::RrCollection;
-pub use coverage::{max_coverage_with, CoverageView, GreedyScratch};
+pub use coverage::{max_coverage_with, CoverageView, GreedyScratch, SeedConstraints};
 pub use greedy::{
     max_coverage, max_coverage_naive, max_coverage_pre_refactor, max_coverage_range, CoverageResult,
 };
 pub use index::SetIds;
+pub use snapshot::{GainSnapshot, WeightedCoverageResult};

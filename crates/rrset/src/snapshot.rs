@@ -1,0 +1,518 @@
+//! Frozen-pool gain snapshots and weighted-universe selection — the
+//! pieces that turn the per-call [`CoverageView`] into a query-serving
+//! subsystem.
+//!
+//! # Gain snapshots
+//!
+//! [`CoverageView::select`] recomputes the initial gain histogram (one
+//! streaming pass over the slice's members, `O(entries)`) and rebuilds
+//! the nonzero heap seed (`O(n)`) on every call — unavoidable for RIS
+//! algorithms, whose pool grows between selections, but pure waste for a
+//! *frozen* pool answering query after query. [`GainSnapshot::build`]
+//! runs both passes **once** and freezes the results; the
+//! [`CoverageView::select_from_snapshot`] fast path then starts each
+//! query with two memcpys (gain table + heap seed) instead. Selection is
+//! bit-identical to the histogram path: the frozen arrays are exactly
+//! what the per-call initialization would have produced, and everything
+//! downstream is shared code.
+//!
+//! A snapshot is immutable and detached from the pool borrow (it owns
+//! plain arrays), so a server can hold `Arc<GainSnapshot>`s and fan
+//! queries out across threads — `sns-core`'s `SeedQueryEngine` does.
+//! Appending to the pool invalidates a snapshot *semantically* (it
+//! describes the old slice); keep snapshots keyed by the id range they
+//! froze, and only snapshot sealed slices that will not change.
+//!
+//! # Weighted universes
+//!
+//! [`CoverageView::select_weighted`] answers targeted (TVM-style)
+//! queries against an *unweighted* (uniform-root) pool: per-query node
+//! weights `b(v)` turn into per-set weights `w_j = b(root of set j)`
+//! (sets store their root first), and greedy maximizes the covered
+//! weight mass `Σ_{j covered} w_j` instead of the covered count. Since
+//! roots are uniform, `E[b(root)·1{S covers R}] = I_T(S)/n`, so
+//! `n·(covered weight)/|R|` estimates the targeted influence — one
+//! frozen pool serves every target group without resampling. (This is a
+//! self-normalized reweighting of Lemma 1, not the paper's WRIS sampler:
+//! precision concentrates where `b` does, so sparse target groups warrant
+//! proportionally larger pools.) Weights vary per query, so this path
+//! has no frozen-gain shortcut; it shares the constraint handling,
+//! stamps and tie-breaking of the unweighted loop.
+
+use std::collections::BinaryHeap;
+use std::ops::Range;
+
+use sns_graph::NodeId;
+
+use crate::{CoverageView, GreedyScratch, SeedConstraints};
+
+/// The frozen per-node gain state of one pool slice: exactly what
+/// [`CoverageView::select`]'s initialization pass computes, sealed once
+/// so repeated queries start from a memcpy (see the module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GainSnapshot {
+    range: Range<u32>,
+    /// `gains[v]` = number of in-range sets containing node `v`.
+    gains: Vec<u32>,
+    /// `(gain, v)` for every node with nonzero gain, ascending `v` — the
+    /// exact buffer the selection loop heapifies.
+    heap_seed: Vec<(u32, NodeId)>,
+}
+
+impl GainSnapshot {
+    /// Runs the histogram and heap-seed passes for `view`'s slice and
+    /// freezes the result.
+    pub fn build(view: &CoverageView<'_>) -> Self {
+        let n = view.num_nodes();
+        let mut gains = vec![0u32; n as usize];
+        for &v in view.raw_members() {
+            gains[v as usize] += 1;
+        }
+        let heap_seed =
+            (0..n).filter(|&v| gains[v as usize] > 0).map(|v| (gains[v as usize], v)).collect();
+        GainSnapshot { range: view.range(), gains, heap_seed }
+    }
+
+    /// The pool id range this snapshot froze.
+    pub fn range(&self) -> Range<u32> {
+        self.range.clone()
+    }
+
+    /// The frozen per-node gains (length = the pool's node count).
+    pub fn gains(&self) -> &[u32] {
+        &self.gains
+    }
+
+    /// The frozen nonzero heap seed.
+    pub(crate) fn heap_seed(&self) -> &[(u32, NodeId)] {
+        &self.heap_seed
+    }
+
+    /// Bytes owned by the frozen arrays (counting capacities).
+    pub fn memory_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        (self.gains.capacity() * size_of::<u32>()
+            + self.heap_seed.capacity() * size_of::<(u32, NodeId)>()) as u64
+    }
+}
+
+/// A nonnegative finite `f64` gain with the total order weighted
+/// selection needs for its max-heap. Construction is crate-internal and
+/// every constructor site validates finiteness, so `total_cmp` is a
+/// plain bit trick, never a NaN judgement call.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightOrd(pub(crate) f64);
+
+impl Eq for WeightOrd {}
+
+impl PartialOrd for WeightOrd {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for WeightOrd {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Result of a weighted greedy selection
+/// ([`CoverageView::select_weighted`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedCoverageResult {
+    /// Selected seed nodes, in selection order.
+    pub seeds: Vec<NodeId>,
+    /// Total weight mass of the covered in-range sets.
+    pub covered_weight: f64,
+    /// Marginal weight gain of each seed at its selection time.
+    pub marginal_gains: Vec<f64>,
+}
+
+impl CoverageView<'_> {
+    /// Greedy Max-Coverage with per-set weights `w_j = node_weights[root
+    /// of set j]` — the weighted-universe (targeted viral marketing)
+    /// query path; see the module docs for the estimator it backs.
+    ///
+    /// Deterministic: ties break on the larger node id, exactly like the
+    /// unweighted loop. Gains only decrease (weights are validated
+    /// nonnegative), so the lazy-heap invariant carries over.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node_weights` is not one finite nonnegative weight per
+    /// node, or if more than `k` seeds are forced.
+    pub fn select_weighted(
+        &self,
+        k: usize,
+        node_weights: &[f64],
+        constraints: &SeedConstraints<'_>,
+        scratch: &mut GreedyScratch,
+    ) -> WeightedCoverageResult {
+        let n = self.num_nodes();
+        let k = k.min(n as usize);
+        assert_eq!(node_weights.len(), n as usize, "need one weight per node");
+        assert!(
+            node_weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "weights must be finite and nonnegative"
+        );
+        assert!(
+            constraints.forced.len() <= k,
+            "{} forced seeds exceed the budget k = {k}",
+            constraints.forced.len()
+        );
+        let generation = scratch.begin_run(n as usize, self.len());
+
+        // Weighted gain init: one streaming pass like the unweighted
+        // histogram, adding each set's weight to all of its members.
+        scratch.wgain.clear();
+        scratch.wgain.resize(n as usize, 0.0);
+        for slot in 0..self.len() {
+            let members = self.members(slot);
+            // Sets store their root first; an empty set has no root and
+            // carries no weight.
+            let Some(&root) = members.first() else { continue };
+            let w = node_weights[root as usize];
+            if w == 0.0 {
+                continue;
+            }
+            for &v in members {
+                scratch.wgain[v as usize] += w;
+            }
+        }
+
+        let mut heap_buf = std::mem::take(&mut scratch.wheap_buf);
+        heap_buf.clear();
+        heap_buf.extend(
+            (0..n)
+                .filter(|&v| scratch.wgain[v as usize] > 0.0)
+                .map(|v| (WeightOrd(scratch.wgain[v as usize]), v)),
+        );
+        let mut heap: BinaryHeap<(WeightOrd, NodeId)> = BinaryHeap::from(heap_buf);
+
+        let mut seeds = Vec::with_capacity(k);
+        let mut marginal_gains = Vec::with_capacity(k);
+        let mut covered_weight = 0.0f64;
+
+        for &v in constraints.excluded {
+            scratch.selected_stamp[v as usize] = generation;
+        }
+        for &v in constraints.forced {
+            if scratch.selected_stamp[v as usize] == generation {
+                continue;
+            }
+            scratch.selected_stamp[v as usize] = generation;
+            let g = scratch.wgain[v as usize];
+            seeds.push(v);
+            marginal_gains.push(g);
+            covered_weight += g;
+            if g > 0.0 {
+                self.cover_sets_weighted(v, generation, node_weights, scratch);
+            }
+        }
+
+        while seeds.len() < k {
+            let Some((WeightOrd(g), v)) = heap.pop() else { break };
+            if scratch.selected_stamp[v as usize] == generation {
+                continue;
+            }
+            let current = scratch.wgain[v as usize];
+            if g > current {
+                // Stale entry: re-key. Decrements of nonnegative weights
+                // can only lower a gain, so the max-heap stays sound.
+                if current > 0.0 {
+                    heap.push((WeightOrd(current), v));
+                }
+                continue;
+            }
+            if current <= 0.0 {
+                break; // only weightless coverage remains
+            }
+            scratch.selected_stamp[v as usize] = generation;
+            seeds.push(v);
+            marginal_gains.push(current);
+            covered_weight += current;
+            self.cover_sets_weighted(v, generation, node_weights, scratch);
+        }
+
+        // Pad to k with arbitrary unselected nodes, weight gain 0 —
+        // mirrors the unweighted padding contract.
+        let mut next = 0u32;
+        while seeds.len() < k && next < n {
+            if scratch.selected_stamp[next as usize] != generation {
+                scratch.selected_stamp[next as usize] = generation;
+                seeds.push(next);
+                marginal_gains.push(0.0);
+            }
+            next += 1;
+        }
+
+        scratch.wheap_buf = heap.into_vec();
+        WeightedCoverageResult { seeds, covered_weight, marginal_gains }
+    }
+
+    /// Weighted twin of the decremental-update sweep: marks `v`'s
+    /// in-range sets covered and subtracts each set's weight from its
+    /// members' weighted gains.
+    fn cover_sets_weighted(
+        &self,
+        v: NodeId,
+        generation: u32,
+        node_weights: &[f64],
+        scratch: &mut GreedyScratch,
+    ) {
+        let range = self.range();
+        for id in self.pool().sets_containing_in(v, range.clone()) {
+            let slot = (id - range.start) as usize;
+            if scratch.covered_stamp[slot] == generation {
+                continue;
+            }
+            scratch.covered_stamp[slot] = generation;
+            let members = self.members(slot);
+            let Some(&root) = members.first() else { continue };
+            let w = node_weights[root as usize];
+            if w == 0.0 {
+                continue;
+            }
+            for &u in members {
+                scratch.wgain[u as usize] -= w;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{max_coverage_range, max_coverage_with, RrCollection};
+    use sns_diffusion::RrMeta;
+
+    fn m(root: NodeId) -> RrMeta {
+        RrMeta { root, edges_examined: 0 }
+    }
+
+    /// Pool whose sets put their root first, as the samplers do.
+    fn pool(sets: &[&[NodeId]], n: u32) -> RrCollection {
+        let mut rc = RrCollection::new(n);
+        for s in sets {
+            rc.push(s, m(s.first().copied().unwrap_or(0)));
+        }
+        rc
+    }
+
+    fn random_pool(seed: u64, n: u32, sets: usize) -> RrCollection {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rc = RrCollection::new(n);
+        for _ in 0..sets {
+            let len = rng.gen_range(1..6usize);
+            let root = rng.gen_range(0..n);
+            let mut s = vec![root];
+            for _ in 1..len {
+                let v = rng.gen_range(0..n);
+                if !s.contains(&v) {
+                    s.push(v);
+                }
+            }
+            rc.push(&s, m(root));
+        }
+        rc
+    }
+
+    #[test]
+    fn snapshot_select_is_bit_identical_to_histogram_select() {
+        let mut scratch = GreedyScratch::new();
+        for seed in 0..10u64 {
+            let rc = random_pool(seed, 30, 150);
+            let total = rc.len() as u32;
+            for range in [0..total, 0..total / 2, total / 4..total] {
+                let view = CoverageView::build(&rc, range.clone());
+                let snap = GainSnapshot::build(&view);
+                assert_eq!(snap.range(), range);
+                for k in [1usize, 3, 7] {
+                    let frozen = view.select_from_snapshot(&snap, k, &mut scratch);
+                    let fresh = view.select(k, &mut scratch);
+                    assert_eq!(frozen, fresh, "seed {seed} range {range:?} k {k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_survives_repeated_queries() {
+        let rc = random_pool(3, 20, 100);
+        let view = CoverageView::build(&rc, 0..100);
+        let snap = GainSnapshot::build(&view);
+        let mut scratch = GreedyScratch::new();
+        let first = view.select_from_snapshot(&snap, 5, &mut scratch);
+        for _ in 0..5 {
+            assert_eq!(view.select_from_snapshot(&snap, 5, &mut scratch), first);
+        }
+        assert_eq!(first, max_coverage_range(&rc, 5, 0..100));
+        assert!(snap.memory_bytes() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different pool slice")]
+    fn range_mismatch_panics() {
+        let rc = random_pool(1, 10, 40);
+        let snap = GainSnapshot::build(&CoverageView::build(&rc, 0..20));
+        let view = CoverageView::build(&rc, 0..40);
+        view.select_from_snapshot(&snap, 2, &mut GreedyScratch::new());
+    }
+
+    #[test]
+    fn excluded_seeds_are_never_selected_nor_padded() {
+        // Node 0 dominates; excluding it promotes node 1 (sets 0 and 3).
+        let rc = pool(&[&[0, 1], &[0, 2], &[0, 3], &[4, 1]], 5);
+        let view = CoverageView::build(&rc, 0..4);
+        let mut scratch = GreedyScratch::new();
+        let cons = SeedConstraints { forced: &[], excluded: &[0] };
+        let r = view.select_constrained(5, &cons, &mut scratch);
+        assert!(!r.seeds.contains(&0), "excluded node selected: {:?}", r.seeds);
+        assert_eq!(r.seeds.len(), 4, "padding must skip the excluded node");
+        assert_eq!(r.seeds[0], 1, "with 0 excluded, node 1 covers most");
+        assert_eq!(r.marginal_gains[0], 2);
+
+        // Same answer through the frozen path.
+        let snap = GainSnapshot::build(&view);
+        let frozen = view.select_from_snapshot_constrained(&snap, 5, &cons, &mut scratch);
+        assert_eq!(frozen, r);
+    }
+
+    #[test]
+    fn forced_seeds_lead_and_their_coverage_is_accounted() {
+        let rc = pool(&[&[0, 1], &[0, 2], &[3], &[3, 1]], 4);
+        let view = CoverageView::build(&rc, 0..4);
+        let mut scratch = GreedyScratch::new();
+        let cons = SeedConstraints { forced: &[1], excluded: &[] };
+        let r = view.select_constrained(2, &cons, &mut scratch);
+        // forced first: node 1 covers sets {0, 3} (gain 2); best
+        // remainder is node 0 with residual gain 1 (set 1).
+        assert_eq!(r.seeds[0], 1);
+        assert_eq!(r.marginal_gains[0], 2);
+        assert_eq!(r.covered, 3);
+        // duplicate forced seeds are selected once
+        let dup = SeedConstraints { forced: &[1, 1], excluded: &[] };
+        let r2 = view.select_constrained(2, &dup, &mut scratch);
+        assert_eq!(r2.seeds, r.seeds);
+    }
+
+    #[test]
+    fn empty_constraints_equal_plain_select() {
+        let rc = random_pool(7, 25, 120);
+        let view = CoverageView::build(&rc, 0..120);
+        let mut scratch = GreedyScratch::new();
+        let plain = view.select(6, &mut scratch);
+        let constrained = view.select_constrained(6, &SeedConstraints::none(), &mut scratch);
+        assert_eq!(plain, constrained);
+        assert_eq!(plain, max_coverage_with(&rc, 6, 0..120, &mut scratch));
+    }
+
+    /// Textbook rescan oracle for the weighted greedy.
+    fn weighted_oracle(
+        rc: &RrCollection,
+        k: usize,
+        w: &[f64],
+        range: std::ops::Range<u32>,
+    ) -> (Vec<NodeId>, f64) {
+        let n = rc.num_nodes();
+        let set_w: Vec<f64> = (range.start..range.end)
+            .map(|id| rc.set(id as usize).first().map_or(0.0, |&r| w[r as usize]))
+            .collect();
+        let mut covered = vec![false; set_w.len()];
+        let mut selected = vec![false; n as usize];
+        let mut seeds = Vec::new();
+        let mut total = 0.0;
+        for _ in 0..k.min(n as usize) {
+            let mut best: Option<(f64, NodeId)> = None;
+            for v in 0..n {
+                if selected[v as usize] {
+                    continue;
+                }
+                let g: f64 = rc
+                    .sets_containing_in(v, range.clone())
+                    .map(|id| {
+                        let slot = (id - range.start) as usize;
+                        if covered[slot] {
+                            0.0
+                        } else {
+                            set_w[slot]
+                        }
+                    })
+                    .sum();
+                if g <= 0.0 {
+                    continue;
+                }
+                // same (gain, id) max tie-break as the heap
+                if best.is_none_or(|(bg, bv)| (g, v) > (bg, bv)) {
+                    best = Some((g, v));
+                }
+            }
+            let Some((g, v)) = best else { break };
+            selected[v as usize] = true;
+            seeds.push(v);
+            total += g;
+            for id in rc.sets_containing_in(v, range.clone()) {
+                covered[(id - range.start) as usize] = true;
+            }
+        }
+        let mut next = 0u32;
+        while seeds.len() < k.min(n as usize) && next < n {
+            if !selected[next as usize] {
+                selected[next as usize] = true;
+                seeds.push(next);
+            }
+            next += 1;
+        }
+        (seeds, total)
+    }
+
+    #[test]
+    fn weighted_select_matches_rescan_oracle() {
+        use rand::{Rng, SeedableRng};
+        let mut scratch = GreedyScratch::new();
+        for seed in 0..8u64 {
+            let rc = random_pool(100 + seed, 20, 90);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            // power-of-two weights make the float sums exact, so the
+            // oracle (which re-adds from scratch) agrees to the bit
+            let w: Vec<f64> =
+                (0..20).map(|_| [0.0, 0.25, 0.5, 1.0, 2.0][rng.gen_range(0..5usize)]).collect();
+            for range in [0..90u32, 10..70] {
+                let view = CoverageView::build(&rc, range.clone());
+                for k in [1usize, 4] {
+                    let got = view.select_weighted(k, &w, &SeedConstraints::none(), &mut scratch);
+                    let (want_seeds, want_total) = weighted_oracle(&rc, k, &w, range.clone());
+                    assert_eq!(got.seeds, want_seeds, "seed {seed} range {range:?} k {k}");
+                    assert!((got.covered_weight - want_total).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_weights_reduce_to_unweighted_selection() {
+        let rc = random_pool(42, 30, 200);
+        let w = vec![1.0f64; 30];
+        let mut scratch = GreedyScratch::new();
+        let view = CoverageView::build(&rc, 0..200);
+        let weighted = view.select_weighted(5, &w, &SeedConstraints::none(), &mut scratch);
+        let plain = view.select(5, &mut scratch);
+        assert_eq!(weighted.seeds, plain.seeds);
+        assert!((weighted.covered_weight - plain.covered as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_weight_roots_contribute_nothing() {
+        // Sets rooted at 0 carry weight 0: only the set rooted at 3
+        // counts, so its members win.
+        let rc = pool(&[&[0, 1], &[0, 1, 2], &[3, 4]], 5);
+        let mut w = vec![1.0f64; 5];
+        w[0] = 0.0;
+        let view = CoverageView::build(&rc, 0..3);
+        let r = view.select_weighted(1, &w, &SeedConstraints::none(), &mut GreedyScratch::new());
+        assert_eq!(r.seeds, vec![4], "ties on weight 1.0 break to the larger id");
+        assert!((r.covered_weight - 1.0).abs() < 1e-12);
+    }
+}

@@ -194,6 +194,22 @@ mod tests {
     }
 
     #[test]
+    fn seed_query_through_the_engine_targets_the_group() {
+        // The serving path: one frozen *uniform-root* pool, per-query
+        // topic weights. The engine must find B's hub and estimate its
+        // targeted influence (21) without any WRIS resampling.
+        let (g, w) = two_communities();
+        let ctx = SamplingContext::new(&g, Model::IndependentCascade).with_seed(4);
+        let engine = sns_core::SeedQueryEngine::sample(&ctx, 4000);
+        let ans = engine.answer(&w.seed_query(1)).unwrap();
+        assert_eq!(ans.seeds, vec![1], "engine picked {:?}", ans.seeds);
+        assert!((ans.influence_estimate - 21.0).abs() < 4.0, "Î_T = {}", ans.influence_estimate);
+        // an unweighted query on the same pool prefers A's bigger hub
+        let im = engine.answer(&sns_core::SeedQuery::top_k(1)).unwrap();
+        assert_eq!(im.seeds, vec![0]);
+    }
+
+    #[test]
     fn seed_quality_verified_by_targeted_forward_simulation() {
         let (g, w) = two_communities();
         let params = Params::new(2, 0.3, 0.1).unwrap();

@@ -146,6 +146,17 @@ impl TargetWeights {
     pub fn weight_of(&self, v: NodeId) -> f64 {
         self.weights[v as usize]
     }
+
+    /// The best-`k`-seeds question for this target group, ready for
+    /// `sns_core::SeedQueryEngine` — one frozen uniform-root pool can
+    /// answer it for every topic without resampling (the engine
+    /// reweights each RR set by its root's `b(v)`; see
+    /// `sns_rrset::snapshot` for the estimator and its caveat on sparse
+    /// groups). Refine further with the `SeedQuery` builders (ranges,
+    /// forced/excluded seeds).
+    pub fn seed_query(&self, k: usize) -> sns_core::SeedQuery {
+        sns_core::SeedQuery::top_k(k).with_root_weights(self.weights.clone())
+    }
 }
 
 #[cfg(test)]

@@ -46,6 +46,9 @@ pub use sns_graph as graph;
 pub use sns_rrset as rrset;
 pub use sns_tvm as tvm;
 
-pub use sns_core::{Dssa, Params, RunResult, SamplingContext, Ssa, SsaEpsilons};
+pub use sns_core::{
+    Dssa, Params, RunResult, SamplingContext, SeedAnswer, SeedQuery, SeedQueryEngine, Ssa,
+    SsaEpsilons,
+};
 pub use sns_diffusion::{Model, SpreadEstimator};
 pub use sns_graph::{Graph, GraphBuilder, WeightModel};

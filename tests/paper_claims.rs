@@ -109,6 +109,60 @@ fn influence_saturates_with_k() {
     );
 }
 
+/// Regression (PR 3): Algorithm 4's ε₂/ε₃ must divide by the find-half
+/// size `Λ·2^(t−1)`, not by `2^(t−1)` alone. The Λ-dropped variant
+/// (present up to commit 12c1870) inflated ε₂/ε₃ by √Λ and made D-SSA
+/// pay needless doublings after condition D1 was already satisfied. The
+/// constants below are that variant's measured behavior on these
+/// fixtures; the corrected rule must beat them by ≥4× where D2 was
+/// binding and never do worse where D1 was.
+#[test]
+fn lambda_corrected_stopping_rule_cuts_samples() {
+    // ER fixture where the dropped Λ cost two full doublings (t = 4
+    // instead of t = 2): ≥4× fewer RR sets at unchanged (ε, δ), with the
+    // influence estimate preserved within ε.
+    let g = gen::erdos_renyi(400, 2400, 3).build(WeightModel::WeightedCascade).unwrap();
+    let params = Params::new(80, 0.1, 0.1).unwrap();
+    let ctx = SamplingContext::new(&g, Model::IndependentCascade).with_seed(9);
+    let r = Dssa::new(params).run(&ctx).unwrap();
+    const PRE_FIX_ER_TOTAL: u64 = 19_184;
+    const PRE_FIX_ER_INFLUENCE: f64 = 265.3;
+    assert!(
+        4 * r.rr_sets_total() <= PRE_FIX_ER_TOTAL,
+        "expected a ≥4x sample drop: {} vs pre-fix {}",
+        r.rr_sets_total(),
+        PRE_FIX_ER_TOTAL
+    );
+    assert!(
+        (r.influence_estimate - PRE_FIX_ER_INFLUENCE).abs() / PRE_FIX_ER_INFLUENCE
+            <= params.epsilon,
+        "influence moved beyond ε: {} vs pre-fix {}",
+        r.influence_estimate,
+        PRE_FIX_ER_INFLUENCE
+    );
+
+    // RMAT fixture where condition D1 (verify-half coverage), not D2,
+    // was binding: here the fix changes nothing, and must not regress.
+    let g = gen::rmat(2000, 12_000, gen::RmatParams::GRAPH500, 7)
+        .build(WeightModel::WeightedCascade)
+        .unwrap();
+    let params = Params::new(10, 0.3, 0.1).unwrap();
+    let ctx = SamplingContext::new(&g, Model::LinearThreshold).with_seed(5);
+    let d = Dssa::new(params).run(&ctx).unwrap();
+    const PRE_FIX_RMAT_TOTAL: u64 = 1200;
+    const PRE_FIX_RMAT_INFLUENCE: f64 = 980.0;
+    assert!(
+        d.rr_sets_total() <= PRE_FIX_RMAT_TOTAL,
+        "D1-bound fixture regressed: {} vs {}",
+        d.rr_sets_total(),
+        PRE_FIX_RMAT_TOTAL
+    );
+    assert!(
+        (d.influence_estimate - PRE_FIX_RMAT_INFLUENCE).abs() / PRE_FIX_RMAT_INFLUENCE
+            <= params.epsilon
+    );
+}
+
 /// Claim (§3.2/Theorem 1): the paper's worked thresholds are ordered —
 /// IMM's Eq. 13 improves on TIM's Eq. 12 for identical inputs, and the
 /// type-2 threshold D-SSA realizes is below both.

@@ -1,0 +1,127 @@
+//! Integration tests for the frozen-pool seed-query engine: the
+//! acceptance contract is bit-identity — every batched answer must equal
+//! the corresponding direct selection over the same pool slice — plus
+//! thread-count invariance of batch answering.
+
+use stop_and_stare::graph::{gen, WeightModel};
+use stop_and_stare::rrset::{max_coverage_range, CoverageView, GreedyScratch, SeedConstraints};
+use stop_and_stare::tvm::TargetWeights;
+use stop_and_stare::{Model, SamplingContext, SeedQuery, SeedQueryEngine};
+
+fn fixture_engine(threads: usize) -> SeedQueryEngine {
+    let g = gen::rmat(1000, 6000, gen::RmatParams::GRAPH500, 13)
+        .build(WeightModel::WeightedCascade)
+        .unwrap();
+    let ctx = SamplingContext::new(&g, Model::IndependentCascade).with_seed(21);
+    SeedQueryEngine::sample(&ctx, 5000).with_threads(threads)
+}
+
+/// A heterogeneous batch covering every query axis.
+fn mixed_batch(pool_len: u32, weights: &TargetWeights) -> Vec<SeedQuery> {
+    vec![
+        SeedQuery::top_k(1),
+        SeedQuery::top_k(10),
+        SeedQuery::top_k(10).over_range(0..pool_len / 2),
+        SeedQuery::top_k(7).over_range(pool_len / 4..pool_len),
+        SeedQuery::top_k(10).with_excluded(vec![0, 1, 2]),
+        SeedQuery::top_k(10).with_forced(vec![5, 6]),
+        SeedQuery::top_k(6).over_range(0..pool_len / 2).with_forced(vec![9]).with_excluded(vec![3]),
+        weights.seed_query(8),
+        weights.seed_query(8).over_range(0..pool_len / 2),
+    ]
+}
+
+#[test]
+fn every_batched_answer_is_bit_identical_to_direct_selection() {
+    let engine = fixture_engine(1);
+    let pool = engine.pool();
+    let pool_len = pool.len() as u32;
+    let weights = {
+        let mut w = vec![0.0f64; pool.num_nodes() as usize];
+        for (v, slot) in w.iter_mut().enumerate().take(200) {
+            *slot = 1.0 + (v % 3) as f64;
+        }
+        TargetWeights::from_weights(w).unwrap()
+    };
+    let batch = mixed_batch(pool_len, &weights);
+    let answers = engine.answer_batch(&batch).unwrap();
+
+    let mut scratch = GreedyScratch::new();
+    for (query, answer) in batch.iter().zip(&answers) {
+        let range = query.range.clone().unwrap_or(0..pool_len);
+        assert_eq!(answer.range, range);
+        let view = CoverageView::build(pool, range.clone());
+        let constraints = SeedConstraints { forced: &query.forced, excluded: &query.excluded };
+        match &query.root_weights {
+            Some(w) => {
+                // direct = fresh per-call weighted selection, no snapshot
+                let direct = view.select_weighted(query.k, w, &constraints, &mut scratch);
+                assert_eq!(answer.seeds, direct.seeds, "weighted query {query:?}");
+                assert_eq!(answer.covered, direct.covered_weight);
+                assert_eq!(answer.marginal_gains, direct.marginal_gains);
+            }
+            None => {
+                // direct = fresh per-call histogram selection, no snapshot
+                let direct = view.select_constrained(query.k, &constraints, &mut scratch);
+                assert_eq!(answer.seeds, direct.seeds, "query {query:?}");
+                assert_eq!(answer.covered, direct.covered as f64);
+                if query.forced.is_empty() && query.excluded.is_empty() {
+                    // and for plain queries, = the public one-shot API
+                    let plain = max_coverage_range(pool, query.k, range.clone());
+                    assert_eq!(answer.seeds, plain.seeds);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn batch_answers_do_not_depend_on_thread_count_or_composition() {
+    let sequential_engine = fixture_engine(1);
+    let weights = TargetWeights::synthetic_topic(
+        &gen::rmat(1000, 6000, gen::RmatParams::GRAPH500, 13)
+            .build(WeightModel::WeightedCascade)
+            .unwrap(),
+        0.1,
+        1.0,
+        5,
+    )
+    .unwrap();
+    let batch = mixed_batch(sequential_engine.pool().len() as u32, &weights);
+    let sequential = sequential_engine.answer_batch(&batch).unwrap();
+    for threads in [2usize, 8] {
+        let parallel = fixture_engine(threads).answer_batch(&batch).unwrap();
+        assert_eq!(sequential, parallel, "{threads} worker threads");
+    }
+    // one-at-a-time answers equal the batch answers (no cross-query state)
+    for (query, batched) in batch.iter().zip(&sequential) {
+        assert_eq!(&sequential_engine.answer(query).unwrap(), batched);
+    }
+}
+
+#[test]
+fn repeated_queries_hit_the_frozen_snapshot_and_stay_stable() {
+    let engine = fixture_engine(2);
+    let query = SeedQuery::top_k(15);
+    let first = engine.answer(&query).unwrap();
+    for _ in 0..10 {
+        assert_eq!(engine.answer(&query).unwrap(), first);
+    }
+    // interleaving other ranges / weighted queries must not disturb it
+    engine.answer(&SeedQuery::top_k(3).over_range(10..900)).unwrap();
+    let w = TargetWeights::uniform_all(engine.pool().num_nodes());
+    engine.answer(&w.seed_query(4)).unwrap();
+    assert_eq!(engine.answer(&query).unwrap(), first);
+}
+
+#[test]
+fn uniform_weighted_query_agrees_with_unweighted_ranking() {
+    // b ≡ 1 makes the weighted objective the plain covered count, so the
+    // seeds and (scaled) estimates must coincide.
+    let engine = fixture_engine(1);
+    let w = TargetWeights::uniform_all(engine.pool().num_nodes());
+    let weighted = engine.answer(&w.seed_query(10)).unwrap();
+    let plain = engine.answer(&SeedQuery::top_k(10)).unwrap();
+    assert_eq!(weighted.seeds, plain.seeds);
+    assert!((weighted.covered - plain.covered).abs() < 1e-6);
+}
