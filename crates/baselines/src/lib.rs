@@ -22,6 +22,12 @@
 //! returns the same [`sns_core::RunResult`] as SSA/D-SSA, so harness code
 //! treats all of them uniformly.
 
+//!
+//! The repository-level pipeline walk-through (sampler → inverted
+//! index → coverage view → gain snapshots → query engine) lives in
+//! `docs/ARCHITECTURE.md` at the workspace root; the stopping-rule
+//! math is derived in `docs/DERIVATIONS.md`.
+
 #![warn(missing_docs)]
 
 mod celf;

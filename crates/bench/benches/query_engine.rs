@@ -7,19 +7,28 @@
 //! histogram + heap-seed rebuild) — full pool and a D-SSA-style half
 //! range; (b) the one-off snapshot build cost the fast path amortizes;
 //! (c) a heterogeneous 16-query batch at 1 and 4 worker threads; and
-//! (d) a weighted (TVM root weights) query, which has no frozen-gain
-//! shortcut and bounds what the snapshot saves.
+//! (d) a weighted (TVM root weights) query through the topic-keyed
+//! frozen-gain cache vs the per-call weighted init pass.
+//!
+//! The `query_engine_grow` group covers grow-while-serving: an engine
+//! whose pool was extended epoch by epoch, measuring the steady-state
+//! multi-epoch query (cached merge, zero rebase), the one-off
+//! epoch-merge build it amortizes, and the per-call histogram rebuild a
+//! snapshot-less server would pay on the same grown pool.
 //!
 //! Results land in `BENCH_query_engine.json` (shared `BENCH_*.json`
-//! schema) together with the deterministic sample-count `counters` the
-//! warn-only `bench_diff` CI step tracks — see
-//! `sns_bench::sample_counts`.
+//! schema) together with deterministic `counters` the warn-only
+//! `bench_diff` CI step tracks: the algorithm sample counts
+//! (`sns_bench::sample_counts`) plus the cache hit/miss/evict counters
+//! of a fixed grow-while-serving query script (criterion iteration
+//! counts never touch these — the script runs exactly once).
 
 use std::time::Duration;
 
 use criterion::{BenchmarkId, Criterion};
 
-use sns_core::{SeedQuery, SeedQueryEngine};
+use sns_core::{SamplingContext, SeedQuery, SeedQueryEngine};
+use sns_diffusion::Model;
 use sns_rrset::{max_coverage_with, CoverageView, GainSnapshot, GreedyScratch};
 
 #[path = "support/mod.rs"]
@@ -78,13 +87,82 @@ fn bench_queries(c: &mut Criterion, engine: &SeedQueryEngine, threaded: &SeedQue
         b.iter(|| threaded.answer_batch(batch).expect("valid batch").len())
     });
 
-    // Weighted query: per-query gains, no snapshot to amortize.
+    // Weighted query, uncached: per-query gain pass, no snapshot.
     let weights: Vec<f64> =
         (0..pool.num_nodes()).map(|v| if v % 10 == 0 { 1.0 } else { 0.0 }).collect();
-    let weighted = SeedQuery::top_k(K).with_root_weights(weights);
+    let weighted = SeedQuery::top_k(K).with_root_weights(weights.clone());
     group.bench_with_input(BenchmarkId::new("weighted-query", "full"), &weighted, |b, q| {
         b.iter(|| engine.answer(q).expect("valid query").covered)
     });
+    // Same query through the topic-keyed frozen-gain cache (the
+    // repeated-TVM serving path; first call builds, the rest memcpy).
+    let topic = SeedQuery::top_k(K).with_root_weights(weights).with_topic(1);
+    assert_eq!(
+        engine.answer(&topic).expect("valid query").seeds,
+        engine.answer(&weighted).expect("valid query").seeds,
+        "frozen and per-call weighted selection disagree"
+    );
+    group.bench_with_input(
+        BenchmarkId::new("weighted-query-topic-cached", "full"),
+        &topic,
+        |b, q| b.iter(|| engine.answer(q).expect("valid query").covered),
+    );
+    group.finish();
+}
+
+/// Grow-while-serving: pool extended in epochs while the engine keeps
+/// answering. Steady state (cached merge, frozen offsets) vs the one-off
+/// merge build vs per-call histogram rebuilds on the same grown pool.
+fn bench_grow_while_serving(c: &mut Criterion) {
+    let g = support::ba_graph();
+    let ctx = SamplingContext::new(&g, Model::IndependentCascade).with_seed(3).with_threads(8);
+    // Same 60k-set total as the frozen benches, reached in 4 epochs.
+    let mut engine = SeedQueryEngine::sample(&ctx, support::SETS / 2).with_threads(8);
+    for _ in 0..3 {
+        engine.extend(&ctx, support::SETS / 6);
+        engine.answer(&SeedQuery::top_k(K)).expect("valid query");
+    }
+    let pool_len = engine.pool().len() as u32;
+    let epochs = engine.pool().epoch_boundaries().len();
+    println!("grown pool: {} sets in {} epochs", pool_len, epochs);
+    assert!(epochs >= 4, "growth must have sealed one epoch per extend");
+    let full = SeedQuery::top_k(K);
+    assert_eq!(
+        engine.answer(&full).expect("valid query").seeds,
+        max_coverage_with(engine.pool(), K, 0..pool_len, &mut GreedyScratch::new()).seeds,
+        "grown engine and direct greedy disagree"
+    );
+
+    let mut group = c.benchmark_group("query_engine_grow");
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_secs(1));
+    group.sample_size(10);
+    // Steady state: the merged snapshot is cached, the query is memcpy +
+    // selection, zero histogram and zero offset-rebase work.
+    group.bench_with_input(BenchmarkId::new("steady-state-merged", "full"), &full, |b, q| {
+        b.iter(|| engine.answer(q).expect("valid query").covered)
+    });
+    // The one-off cost a pool extension adds to the *next* full-range
+    // query: merging the per-epoch snapshots (histograms sum, heap seed
+    // rebuilt) — what replaces a from-scratch histogram pass.
+    let parts: Vec<GainSnapshot> = engine
+        .pool()
+        .epochs()
+        .map(|e| GainSnapshot::build(&CoverageView::build(engine.pool(), e)))
+        .collect();
+    group.bench_with_input(BenchmarkId::new("epoch-merge-build", "full"), &parts, |b, parts| {
+        b.iter(|| {
+            let refs: Vec<&GainSnapshot> = parts.iter().collect();
+            GainSnapshot::merge(&refs).range().end
+        })
+    });
+    // What a snapshot-less server pays per query on the same grown pool.
+    let mut scratch = GreedyScratch::new();
+    group.bench_with_input(
+        BenchmarkId::new("per-call-histogram", "full"),
+        engine.pool(),
+        |b, pool| b.iter(|| max_coverage_with(pool, K, 0..pool_len, &mut scratch).covered),
+    );
     group.finish();
 }
 
@@ -110,7 +188,10 @@ fn main() {
     let engine = SeedQueryEngine::from_pool(pool.clone(), gamma);
     let threaded = SeedQueryEngine::from_pool(pool, gamma).with_threads(4);
     bench_queries(&mut c, &engine, &threaded);
+    bench_grow_while_serving(&mut c);
     if !test_mode {
+        // counters() includes the grow-while-serving cache script — see
+        // sns_bench::sample_counts.
         let counters = sns_bench::sample_counts::counters();
         support::write_bench_json_with_counters(&c, "BENCH_query_engine.json", &counters);
     }

@@ -21,6 +21,12 @@
 //! magnitude, and how the curves bend with k — are reproduced. Results
 //! stream to stdout as aligned tables and to `results/*.csv`.
 
+//!
+//! The repository-level pipeline walk-through (sampler → inverted
+//! index → coverage view → gain snapshots → query engine) lives in
+//! `docs/ARCHITECTURE.md` at the workspace root; the stopping-rule
+//! math is derived in `docs/DERIVATIONS.md`.
+
 #![warn(missing_docs)]
 
 pub mod algorithms;

@@ -1,5 +1,5 @@
-//! Deterministic sample-count counters — the mechanical guard for the
-//! Λ-regression bug class.
+//! Deterministic counters — the mechanical guard for the Λ-regression
+//! bug class and, since PR 4, for the serving cache policy.
 //!
 //! PR 3 fixed D-SSA's stopping rule dropping the Λ factor from its
 //! ε₂/ε₃ denominators (~4× over-sampling on D2-bound instances). Timing
@@ -8,12 +8,56 @@
 //! deterministic (seeded RNG streams, thread-invariant pools), so they
 //! can be diffed exactly against checked-in baselines. [`counters`]
 //! computes the totals on the `tests/paper_claims.rs` regression
-//! fixtures; the `bench_diff` binary compares them (warn-only) in CI,
-//! and the `query_engine` bench embeds them in `BENCH_query_engine.json`.
+//! fixtures plus the cache hit/miss/evict counters of a fixed
+//! grow-while-serving query script ([`serving_counters`] — the same bug
+//! class in serving clothes: a cache that silently stops hitting stays
+//! exactly as *correct* and exactly as slow as no cache). The
+//! `bench_diff` binary compares them (warn-only) in CI, and the
+//! `query_engine` bench embeds them in `BENCH_query_engine.json`.
 
-use sns_core::{Dssa, Params, SamplingContext, Ssa};
+use sns_core::{Dssa, Params, QueryStats, SamplingContext, SeedQuery, SeedQueryEngine, Ssa};
 use sns_diffusion::Model;
 use sns_graph::{gen, WeightModel};
+use sns_tvm::TargetWeights;
+
+/// Cache counters of a fixed grow-while-serving script: sample 2000
+/// sets, then three rounds of (repeated full-pool queries + a ranged
+/// query + two same-topic weighted queries + a 1000-set extension).
+/// Deterministic: seeded streams, sequential answering, no
+/// criterion-iteration influence.
+pub fn serving_counters() -> Vec<(&'static str, u64)> {
+    let g = gen::erdos_renyi(500, 3000, 11).build(WeightModel::WeightedCascade).unwrap();
+    let ctx = SamplingContext::new(&g, Model::IndependentCascade).with_seed(11);
+    let mut engine = SeedQueryEngine::sample(&ctx, 2000);
+    let topic = TargetWeights::synthetic_topic(&g, 0.1, 1.0, 7).expect("valid topic");
+    for _ in 0..3 {
+        engine.answer(&SeedQuery::top_k(20)).expect("valid query");
+        engine.answer(&SeedQuery::top_k(20)).expect("valid query");
+        engine.answer(&SeedQuery::top_k(10).over_range(0..1000)).expect("valid query");
+        engine.answer(&topic.seed_query(10)).expect("valid query");
+        engine.answer(&topic.seed_query(10)).expect("valid query");
+        engine.extend(&ctx, 1000);
+    }
+    let QueryStats {
+        snapshot_hits,
+        snapshot_misses,
+        weighted_hits,
+        weighted_misses,
+        evictions,
+        epochs_frozen,
+        merges,
+        ..
+    } = engine.stats();
+    vec![
+        ("query_engine_grow_snapshot_hits", snapshot_hits),
+        ("query_engine_grow_snapshot_misses", snapshot_misses),
+        ("query_engine_grow_weighted_hits", weighted_hits),
+        ("query_engine_grow_weighted_misses", weighted_misses),
+        ("query_engine_grow_evictions", evictions),
+        ("query_engine_grow_epochs_frozen", epochs_frozen),
+        ("query_engine_grow_merges", merges),
+    ]
+}
 
 /// The tracked `(name, value)` counters, recomputed from scratch
 /// (seconds of work; all streams seeded). Names are stable — `bench_diff`
@@ -37,12 +81,14 @@ pub fn counters() -> Vec<(&'static str, u64)> {
     let dssa_rmat = Dssa::new(params_b).run(&ctx_b).unwrap();
     let ssa_rmat = Ssa::new(params_b).run(&ctx_b).unwrap();
 
-    vec![
+    let mut out = vec![
         ("dssa_er_ic_k80_rr_sets_total", dssa_er.rr_sets_total()),
         ("ssa_er_ic_k80_rr_sets_total", ssa_er.rr_sets_total()),
         ("dssa_rmat_lt_k10_rr_sets_total", dssa_rmat.rr_sets_total()),
         ("ssa_rmat_lt_k10_rr_sets_total", ssa_rmat.rr_sets_total()),
-    ]
+    ];
+    out.extend(serving_counters());
+    out
 }
 
 #[cfg(test)]
@@ -54,6 +100,9 @@ mod tests {
         let a = counters();
         let b = counters();
         assert_eq!(a, b);
-        assert!(a.iter().all(|&(_, v)| v > 0));
+        // sample totals are necessarily positive; cache counters may
+        // legitimately be zero (the script provokes no evictions)
+        assert!(a.iter().filter(|(name, _)| name.ends_with("rr_sets_total")).all(|&(_, v)| v > 0));
+        assert!(a.iter().any(|(name, v)| name.starts_with("query_engine_grow") && *v > 0));
     }
 }

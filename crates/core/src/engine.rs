@@ -7,14 +7,39 @@
 //! "what if these influencers are unavailable" (excluded seeds), "we
 //! already signed these" (forced seeds), and "how does it look for
 //! *this* target group" (per-query weighted universes via TVM root
-//! weights). [`SeedQueryEngine`] seals a pool once, freezes the
-//! initial-gain state of each queried slice in a
-//! [`sns_rrset::GainSnapshot`] (built on first use, cached per range),
-//! and answers [`SeedQuery`] batches thread-parallel with per-worker
-//! [`GreedyScratch`]es. Results are **bit-identical** to calling
-//! [`sns_rrset::max_coverage_range`] (or the constrained/weighted
-//! selection) directly, and batch answers are independent of thread
-//! count and batch composition.
+//! weights). [`SeedQueryEngine`] seals a pool, freezes initial-gain
+//! state in [`sns_rrset::GainSnapshot`]s, and answers [`SeedQuery`]
+//! batches thread-parallel with per-worker [`GreedyScratch`]es. Results
+//! are **bit-identical** to calling [`sns_rrset::max_coverage_range`]
+//! (or the constrained/weighted selection) directly, and batch answers
+//! are independent of thread count and batch composition.
+//!
+//! # Epoch-incremental snapshots and the cache policy
+//!
+//! Snapshots are frozen **per sealed pool epoch** (the id ranges
+//! [`RrCollection::epoch_boundaries`] exposes) and merged at query time
+//! for ranges spanning several epochs — gain histograms sum, the heap
+//! seed is rebuilt from the merged histogram, and the merged result is
+//! cached per `(range, epoch signature)`. Because epoch boundaries are
+//! append-only, [`SeedQueryEngine::extend`]ing the pool invalidates
+//! **nothing**: it freezes only the new epoch, and every previously
+//! cached snapshot keeps serving (a full-pool query after growth merges
+//! the old epochs with the one new snapshot instead of rebuilding from
+//! scratch). Each snapshot also carries its slice's rebased CSR offsets,
+//! so a steady-state cache hit does zero `O(range_len)` view-rebase
+//! work.
+//!
+//! The cache is LRU with a byte budget
+//! ([`SeedQueryEngine::with_cache_budget`]): every entry — per-epoch,
+//! merged, or weighted-by-topic ([`sns_rrset::WeightedGainSnapshot`],
+//! keyed by the [`SeedQuery::topic`] id so repeated TVM queries skip the
+//! per-query weighted histogram pass) — is accounted, least-recently-used
+//! entries are evicted when the budget overflows, and hit/miss/evict
+//! counters are surfaced through [`QueryStats`]. Eviction only ever
+//! costs a rebuild, never correctness.
+//!
+//! See `docs/ARCHITECTURE.md` (repository root) for the full pipeline
+//! and epoch lifecycle diagrams.
 
 use std::collections::HashMap;
 use std::ops::Range;
@@ -22,7 +47,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use sns_graph::NodeId;
-use sns_rrset::{CoverageView, GainSnapshot, GreedyScratch, RrCollection, SeedConstraints};
+use sns_rrset::{
+    CoverageView, GainSnapshot, GreedyScratch, RrCollection, SeedConstraints, WeightedGainSnapshot,
+};
 
 use crate::{CoreError, SamplingContext};
 
@@ -43,8 +70,18 @@ pub struct SeedQuery {
     /// Per-node target weights `b(v)`: when set, the query maximizes the
     /// covered *weight* mass (`w_set = b(root)`, uniform-root pools) and
     /// the influence estimate becomes a targeted influence. See
-    /// `sns_rrset::snapshot` for the estimator.
-    pub root_weights: Option<Vec<f64>>,
+    /// `sns_rrset::snapshot` for the estimator. Shared by `Arc` so
+    /// constructing and cloning queries never copies the n-length vector
+    /// (`sns_tvm::TargetWeights::seed_query` hands out the same
+    /// allocation for every query on a topic).
+    pub root_weights: Option<Arc<[f64]>>,
+    /// Stable identity of the weight vector, for snapshot reuse: queries
+    /// carrying the same topic id (and therefore the same weights — the
+    /// caller's contract, verified by `Arc` identity) share one cached
+    /// [`sns_rrset::WeightedGainSnapshot`] per range instead of
+    /// re-running the weighted gain pass. `sns_tvm::TargetWeights` sets
+    /// this automatically; leave `None` for one-off weight vectors.
+    pub topic: Option<u64>,
 }
 
 impl SeedQuery {
@@ -72,9 +109,23 @@ impl SeedQuery {
     }
 
     /// Targets the query at the group weighted by `weights` (one
-    /// finite nonnegative entry per node).
-    pub fn with_root_weights(mut self, weights: Vec<f64>) -> Self {
-        self.root_weights = Some(weights);
+    /// finite nonnegative entry per node). Accepts a `Vec<f64>` or an
+    /// already-shared `Arc<[f64]>`; pass the same `Arc` across queries
+    /// to avoid re-validating allocations.
+    pub fn with_root_weights(mut self, weights: impl Into<Arc<[f64]>>) -> Self {
+        self.root_weights = Some(weights.into());
+        self
+    }
+
+    /// Declares the weight vector's stable identity (see
+    /// [`SeedQuery::topic`]). Must accompany `root_weights`; the same id
+    /// must always name the same weights. Hand-managed ids should stay
+    /// below `1 << 63` — `sns_tvm::TargetWeights` mints its automatic
+    /// ids from the upper half, so the namespaces never collide. (A
+    /// collision is detected by `Arc` identity and only costs cache
+    /// thrash, never a wrong answer.)
+    pub fn with_topic(mut self, topic_id: u64) -> Self {
+        self.topic = Some(topic_id);
         self
     }
 }
@@ -96,18 +147,176 @@ pub struct SeedAnswer {
     pub range: Range<u32>,
 }
 
-/// A sealed RR-set pool plus cached per-range [`GainSnapshot`]s, serving
-/// [`SeedQuery`] batches (see the module docs).
+/// Snapshot-cache and query counters of a [`SeedQueryEngine`], as
+/// returned by [`SeedQueryEngine::stats`]. All counters are cumulative
+/// since engine construction. Under concurrent batches a racing
+/// double-build can count one extra miss/build (the winners' entries are
+/// identical, so correctness is unaffected); sequential use is exact.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Unweighted queries answered from a cached (range-level) snapshot.
+    pub snapshot_hits: u64,
+    /// Unweighted queries that had to build or merge a snapshot.
+    pub snapshot_misses: u64,
+    /// Topic-keyed weighted queries answered from a cached
+    /// [`WeightedGainSnapshot`].
+    pub weighted_hits: u64,
+    /// Topic-keyed weighted queries that had to build one. (Weighted
+    /// queries without a topic id are always uncached and count nowhere.)
+    pub weighted_misses: u64,
+    /// Cache entries evicted by the byte budget.
+    pub evictions: u64,
+    /// Per-epoch [`GainSnapshot`]s frozen (each epoch at most once,
+    /// unless evicted and re-needed).
+    pub epochs_frozen: u64,
+    /// Multi-epoch merges materialized ([`GainSnapshot::merge`]).
+    pub merges: u64,
+    /// Bytes currently held by cached snapshots.
+    pub cached_bytes: u64,
+    /// The configured cache byte budget.
+    pub budget_bytes: u64,
+}
+
+/// Key of one snapshot-cache entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum CacheKey {
+    /// Unweighted snapshot of `start..end`, built when `epochs` sealed
+    /// boundaries were ≤ `end`. With today's growth paths the signature
+    /// is constant per range — every constructor and `extend` fully
+    /// seals the pool before queries run, so no queried `end` ever gains
+    /// a later boundary at or below it. It is part of the key so that a
+    /// future non-sealing append path re-keys (rather than serves
+    /// forever) entries that covered then-pending sets: the stale entry
+    /// would still be *correct* (ranges are immutable), just built
+    /// without the epoch structure, and ages out by LRU.
+    Plain { start: u32, end: u32, epochs: u32 },
+    /// Weighted snapshot of `start..end` under the weight vector named
+    /// by `topic`. No epoch signature: weighted snapshots are built
+    /// whole-range and an id range's contents never change.
+    Weighted { start: u32, end: u32, topic: u64 },
+}
+
+/// One cached snapshot (see [`CacheKey`]).
+#[derive(Debug, Clone)]
+enum CachedSnapshot {
+    Plain(Arc<GainSnapshot>),
+    /// Holds the weight vector the snapshot was built with: `Arc`
+    /// identity verifies the caller's same-topic-same-weights contract,
+    /// and keeping the allocation alive ensures the address cannot be
+    /// recycled into a false match.
+    Weighted(Arc<WeightedGainSnapshot>, Arc<[f64]>),
+}
+
+impl CachedSnapshot {
+    fn bytes(&self) -> u64 {
+        match self {
+            CachedSnapshot::Plain(s) => s.memory_bytes(),
+            // The retained weight vector counts against the budget: the
+            // cache entry keeps it alive even after the caller drops its
+            // handle, so it is memory this cache pins.
+            CachedSnapshot::Weighted(s, w) => {
+                s.memory_bytes() + (w.len() * std::mem::size_of::<f64>()) as u64
+            }
+        }
+    }
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    snap: CachedSnapshot,
+    bytes: u64,
+    last_used: u64,
+}
+
+/// The engine's snapshot cache: one map for per-epoch, merged-range and
+/// weighted-by-topic snapshots, LRU-evicted against a byte budget.
+/// Plain `u64` counters — every access already holds the cache mutex.
+#[derive(Debug)]
+struct SnapshotCache {
+    entries: HashMap<CacheKey, CacheEntry>,
+    /// Monotone access clock backing the LRU order.
+    clock: u64,
+    bytes: u64,
+    budget: u64,
+    stats: QueryStats,
+}
+
+impl SnapshotCache {
+    fn new(budget: u64) -> Self {
+        SnapshotCache {
+            entries: HashMap::new(),
+            clock: 0,
+            bytes: 0,
+            budget,
+            stats: QueryStats::default(),
+        }
+    }
+
+    /// Looks `key` up and refreshes its LRU stamp. Does not touch the
+    /// hit/miss counters — the query-level callers decide what counts.
+    fn get(&mut self, key: &CacheKey) -> Option<CachedSnapshot> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.entries.get_mut(key).map(|e| {
+            e.last_used = clock;
+            e.snap.clone()
+        })
+    }
+
+    /// Inserts (or replaces) `key`, then evicts least-recently-used
+    /// entries until the budget holds again. The entry just inserted is
+    /// never evicted — a cache too small for one snapshot still serves
+    /// it to its own query.
+    fn insert(&mut self, key: CacheKey, snap: CachedSnapshot) {
+        self.clock += 1;
+        let bytes = snap.bytes();
+        let entry = CacheEntry { snap, bytes, last_used: self.clock };
+        if let Some(old) = self.entries.insert(key, entry) {
+            self.bytes -= old.bytes;
+        }
+        self.bytes += bytes;
+        while self.bytes > self.budget && self.entries.len() > 1 {
+            let victim = self
+                .entries
+                .iter()
+                .filter(|(k, _)| **k != key)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+                .expect("len > 1 so a non-inserted entry exists");
+            let evicted = self.entries.remove(&victim).expect("victim exists");
+            self.bytes -= evicted.bytes;
+            self.stats.evictions += 1;
+        }
+        self.stats.cached_bytes = self.bytes;
+    }
+
+    fn snapshot_stats(&self) -> QueryStats {
+        QueryStats { cached_bytes: self.bytes, budget_bytes: self.budget, ..self.stats }
+    }
+}
+
+/// Default snapshot-cache budget: plenty for tens of frozen ranges on
+/// million-node pools, small next to the pool arena itself.
+const DEFAULT_CACHE_BUDGET: u64 = 128 << 20;
+
+/// A sealed RR-set pool plus an epoch-incremental snapshot cache,
+/// serving [`SeedQuery`] batches (see the module docs).
 #[derive(Debug)]
 pub struct SeedQueryEngine {
     pool: RrCollection,
     gamma: f64,
     threads: usize,
-    /// Frozen initial-gain state per queried `(start, end)` slice, built
-    /// on first use. Snapshot contents are a pure function of the sealed
-    /// pool and the range, so a racing double-build is harmless — both
-    /// instances are identical and either may be cached.
-    snapshots: Mutex<HashMap<(u32, u32), Arc<GainSnapshot>>>,
+    /// Next sample index of the deterministic stream —
+    /// [`SeedQueryEngine::extend`] continues where
+    /// [`SeedQueryEngine::sample`] stopped, so a grown engine's pool is
+    /// bit-identical to sampling the final size in one shot.
+    next_sample_index: u64,
+    /// Per-epoch, merged-range and weighted-by-topic snapshots with LRU
+    /// eviction (see the module docs). Snapshot contents are a pure
+    /// function of the sealed pool slice (and weights), so a racing
+    /// double-build is harmless — both instances are identical and
+    /// either may be cached.
+    cache: Mutex<SnapshotCache>,
     /// Selection scratch reused by [`SeedQueryEngine::answer`] — its
     /// stamp/gain tables stay at high-water size instead of costing an
     /// `O(n + range)` allocation-plus-zeroing per single query, which
@@ -122,11 +331,13 @@ impl SeedQueryEngine {
     /// uniform-root pools, `Σ b(v)` if the pool itself was WRIS-sampled).
     pub fn from_pool(mut pool: RrCollection, gamma: f64) -> Self {
         pool.seal();
+        let next_sample_index = pool.len() as u64;
         SeedQueryEngine {
             pool,
             gamma,
             threads: 1,
-            snapshots: Mutex::new(HashMap::new()),
+            next_sample_index,
+            cache: Mutex::new(SnapshotCache::new(DEFAULT_CACHE_BUDGET)),
             answer_scratch: Mutex::new(GreedyScratch::new()),
         }
     }
@@ -153,6 +364,44 @@ impl SeedQueryEngine {
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
         self
+    }
+
+    /// Sets the snapshot-cache byte budget (default 128 MiB). When
+    /// cached snapshots exceed it, least-recently-used entries are
+    /// evicted; an evicted range is rebuilt on its next query, so the
+    /// budget trades latency for memory, never correctness. Answers do
+    /// not depend on it.
+    pub fn with_cache_budget(self, bytes: u64) -> Self {
+        self.cache.lock().expect("snapshot cache poisoned").budget = bytes;
+        self
+    }
+
+    /// Grows the frozen pool while serving: samples `additional` sets
+    /// (continuing the deterministic stream, so the result is
+    /// bit-identical to having sampled the final size up front) and
+    /// seals them as **one new epoch**. Nothing cached is invalidated —
+    /// epoch boundaries are append-only, so every previously frozen
+    /// snapshot keeps serving its range, and the next query spanning the
+    /// new sets freezes just the new epoch and merges it with the old
+    /// ones ([`GainSnapshot::merge`]). This is the serving side of the
+    /// SSA/D-SSA doubling schedule: the pool keeps extending, queries
+    /// keep answering, and snapshot work stays proportional to the
+    /// *growth*, not the pool.
+    pub fn extend(&mut self, ctx: &SamplingContext<'_>, additional: u64) {
+        let from = self.next_sample_index;
+        if self.threads > 1 {
+            self.pool.extend_parallel(&ctx.sampler(0), from, additional, self.threads);
+        } else {
+            let mut sampler = ctx.sampler(0);
+            self.pool.extend_sequential(&mut sampler, from, additional);
+        }
+        self.pool.seal_parallel(self.threads);
+        self.next_sample_index += additional;
+    }
+
+    /// The engine's cumulative cache/query counters.
+    pub fn stats(&self) -> QueryStats {
+        self.cache.lock().expect("snapshot cache poisoned").snapshot_stats()
     }
 
     /// The frozen pool.
@@ -244,6 +493,8 @@ impl SeedQueryEngine {
             {
                 return err(format!("weight b({v}) = {bad} is not finite and nonnegative"));
             }
+        } else if query.topic.is_some() {
+            return err("topic id set without root weights".into());
         }
         Ok(())
     }
@@ -254,11 +505,29 @@ impl SeedQueryEngine {
     fn answer_validated(&self, query: &SeedQuery, scratch: &mut GreedyScratch) -> SeedAnswer {
         let range = query.range.clone().unwrap_or(0..self.pool.len() as u32);
         let len = (range.end - range.start) as u64;
-        let view = CoverageView::build(&self.pool, range.clone());
         let constraints = SeedConstraints { forced: &query.forced, excluded: &query.excluded };
         match &query.root_weights {
             Some(weights) => {
-                let r = view.select_weighted(query.k, weights, &constraints, scratch);
+                let r = match query.topic {
+                    Some(topic) => {
+                        // Repeated-topic fast path: frozen weighted gains
+                        // + frozen offsets, zero per-query init passes.
+                        let snapshot = self.weighted_snapshot_for(&range, topic, weights);
+                        snapshot.view(&self.pool).select_weighted_from_snapshot(
+                            &snapshot,
+                            query.k,
+                            weights,
+                            &constraints,
+                            scratch,
+                        )
+                    }
+                    None => CoverageView::build(&self.pool, range.clone()).select_weighted(
+                        query.k,
+                        weights,
+                        &constraints,
+                        scratch,
+                    ),
+                };
                 let influence =
                     if len == 0 { 0.0 } else { self.gamma * r.covered_weight / len as f64 };
                 SeedAnswer {
@@ -271,7 +540,9 @@ impl SeedQueryEngine {
             }
             None => {
                 let snapshot = self.snapshot_for(&range);
-                let r = view.select_from_snapshot_constrained(
+                // The snapshot lends its frozen offsets: a cache hit
+                // skips the O(range_len) view rebase too.
+                let r = snapshot.view(&self.pool).select_from_snapshot_constrained(
                     &snapshot,
                     query.k,
                     &constraints,
@@ -289,16 +560,140 @@ impl SeedQueryEngine {
         }
     }
 
-    fn snapshot_for(&self, range: &Range<u32>) -> Arc<GainSnapshot> {
-        let key = (range.start, range.end);
-        if let Some(snap) = self.snapshots.lock().expect("snapshot cache poisoned").get(&key) {
-            return Arc::clone(snap);
+    /// The sealed-epoch signature of a range end: how many epoch
+    /// boundaries lie at or below it. Part of the plain cache key (see
+    /// [`CacheKey`]).
+    fn epoch_signature(&self, end: u32) -> u32 {
+        self.pool.epoch_boundaries().partition_point(|&b| b <= end) as u32
+    }
+
+    /// Decomposes `range` against the sealed epoch boundaries into
+    /// maximal segments: `(segment, is_full_epoch)`. Full epochs freeze
+    /// reusable snapshots; partial head/tail segments (unaligned starts,
+    /// pending sets past the last boundary) are built per merge.
+    fn epoch_segments(&self, range: &Range<u32>) -> Vec<(Range<u32>, bool)> {
+        let mut segments = Vec::new();
+        let mut pos = range.start;
+        let mut epoch_start = 0u32;
+        for &bound in self.pool.epoch_boundaries() {
+            let epoch = epoch_start..bound;
+            epoch_start = bound;
+            if epoch.end <= pos {
+                continue;
+            }
+            if epoch.start >= range.end {
+                break;
+            }
+            let seg = pos.max(epoch.start)..range.end.min(epoch.end);
+            if seg.start < seg.end {
+                let full = seg == epoch;
+                pos = seg.end;
+                segments.push((seg, full));
+            }
         }
-        // Built outside the lock: O(entries) histogram work must not
-        // serialize the whole batch behind one slow range.
-        let built = Arc::new(GainSnapshot::build(&CoverageView::build(&self.pool, range.clone())));
-        let mut cache = self.snapshots.lock().expect("snapshot cache poisoned");
-        Arc::clone(cache.entry(key).or_insert(built))
+        if pos < range.end {
+            segments.push((pos..range.end, false));
+        }
+        segments
+    }
+
+    /// Returns the frozen snapshot for `range`, from cache or by
+    /// building it — directly for single-segment ranges, by merging
+    /// per-epoch snapshots (frozen once each, themselves cached) for
+    /// ranges spanning several epochs. Counts one query-level hit or
+    /// miss per call.
+    fn snapshot_for(&self, range: &Range<u32>) -> Arc<GainSnapshot> {
+        let key = CacheKey::Plain {
+            start: range.start,
+            end: range.end,
+            epochs: self.epoch_signature(range.end),
+        };
+        {
+            let mut cache = self.cache.lock().expect("snapshot cache poisoned");
+            if let Some(CachedSnapshot::Plain(snap)) = cache.get(&key) {
+                cache.stats.snapshot_hits += 1;
+                return snap;
+            }
+            cache.stats.snapshot_misses += 1;
+        }
+        // Built outside the lock: O(entries) histogram/merge work must
+        // not serialize the whole batch behind one slow range.
+        let segments = self.epoch_segments(range);
+        let built = if segments.iter().filter(|(_, full)| *full).count() == 0 || segments.len() <= 1
+        {
+            // No reusable epoch inside (or the range *is* one epoch):
+            // build in one pass.
+            Arc::new(GainSnapshot::build(&CoverageView::build(&self.pool, range.clone())))
+        } else {
+            let parts: Vec<Arc<GainSnapshot>> = segments
+                .iter()
+                .map(|(seg, full)| {
+                    if *full {
+                        self.epoch_snapshot(seg)
+                    } else {
+                        Arc::new(GainSnapshot::build(&CoverageView::build(&self.pool, seg.clone())))
+                    }
+                })
+                .collect();
+            let refs: Vec<&GainSnapshot> = parts.iter().map(Arc::as_ref).collect();
+            let merged = Arc::new(GainSnapshot::merge(&refs));
+            self.cache.lock().expect("snapshot cache poisoned").stats.merges += 1;
+            merged
+        };
+        let mut cache = self.cache.lock().expect("snapshot cache poisoned");
+        cache.insert(key, CachedSnapshot::Plain(Arc::clone(&built)));
+        built
+    }
+
+    /// The frozen snapshot of one full epoch, from cache or built (and
+    /// cached) now. Epoch lookups refresh LRU order but do not count as
+    /// query-level hits/misses; builds count into `epochs_frozen`.
+    fn epoch_snapshot(&self, epoch: &Range<u32>) -> Arc<GainSnapshot> {
+        let key = CacheKey::Plain {
+            start: epoch.start,
+            end: epoch.end,
+            epochs: self.epoch_signature(epoch.end),
+        };
+        if let Some(CachedSnapshot::Plain(snap)) =
+            self.cache.lock().expect("snapshot cache poisoned").get(&key)
+        {
+            return snap;
+        }
+        let built = Arc::new(GainSnapshot::build(&CoverageView::build(&self.pool, epoch.clone())));
+        let mut cache = self.cache.lock().expect("snapshot cache poisoned");
+        cache.stats.epochs_frozen += 1;
+        cache.insert(key, CachedSnapshot::Plain(Arc::clone(&built)));
+        built
+    }
+
+    /// The frozen weighted snapshot for `(range, topic)`, verified
+    /// against the query's weight vector by `Arc` identity — an id
+    /// collision with different weights degrades to a rebuild, never a
+    /// wrong answer. Counts one weighted hit or miss per call.
+    fn weighted_snapshot_for(
+        &self,
+        range: &Range<u32>,
+        topic: u64,
+        weights: &Arc<[f64]>,
+    ) -> Arc<WeightedGainSnapshot> {
+        let key = CacheKey::Weighted { start: range.start, end: range.end, topic };
+        {
+            let mut cache = self.cache.lock().expect("snapshot cache poisoned");
+            if let Some(CachedSnapshot::Weighted(snap, cached_weights)) = cache.get(&key) {
+                if Arc::ptr_eq(&cached_weights, weights) {
+                    cache.stats.weighted_hits += 1;
+                    return snap;
+                }
+            }
+            cache.stats.weighted_misses += 1;
+        }
+        let built = Arc::new(WeightedGainSnapshot::build(
+            &CoverageView::build(&self.pool, range.clone()),
+            weights,
+        ));
+        let mut cache = self.cache.lock().expect("snapshot cache poisoned");
+        cache.insert(key, CachedSnapshot::Weighted(Arc::clone(&built), Arc::clone(weights)));
+        built
     }
 }
 
@@ -359,9 +754,42 @@ mod tests {
         let a = e.answer(&SeedQuery::top_k(3).over_range(0..500)).unwrap();
         let b = e.answer(&SeedQuery::top_k(3).over_range(0..500)).unwrap();
         assert_eq!(a, b);
-        assert_eq!(e.snapshots.lock().unwrap().len(), 1);
+        let s = e.stats();
+        assert_eq!((s.snapshot_hits, s.snapshot_misses), (1, 1));
         e.answer(&SeedQuery::top_k(3)).unwrap();
-        assert_eq!(e.snapshots.lock().unwrap().len(), 2);
+        let s = e.stats();
+        assert_eq!((s.snapshot_hits, s.snapshot_misses), (1, 2));
+        assert!(s.cached_bytes > 0);
+        assert_eq!(s.budget_bytes, 128 << 20);
+        assert_eq!(s.evictions, 0);
+    }
+
+    #[test]
+    fn growing_the_pool_freezes_only_the_new_epoch() {
+        let g = gen::erdos_renyi(300, 1800, 8).build(WeightModel::WeightedCascade).unwrap();
+        let ctx = SamplingContext::new(&g, Model::IndependentCascade).with_seed(8);
+        let mut e = SeedQueryEngine::sample(&ctx, 1000);
+        assert_eq!(e.pool().epoch_boundaries(), &[1000]);
+        let old_epoch = e.answer(&SeedQuery::top_k(4).over_range(0..1000)).unwrap();
+
+        e.extend(&ctx, 500);
+        assert_eq!(e.pool().epoch_boundaries(), &[1000, 1500], "one new epoch, old one intact");
+        // the grown pool is bit-identical to sampling 1500 up front
+        let oneshot = SeedQueryEngine::sample(&ctx, 1500);
+        let full = e.answer(&SeedQuery::top_k(4)).unwrap();
+        assert_eq!(full, oneshot.answer(&SeedQuery::top_k(4)).unwrap());
+        assert_eq!(full.range, 0..1500);
+        // and the full-range answer merged the cached old epoch with one
+        // newly frozen epoch instead of rebuilding from scratch
+        let s = e.stats();
+        assert_eq!(s.epochs_frozen, 1, "only the new epoch was frozen");
+        assert_eq!(s.merges, 1);
+        // the pre-growth snapshot still serves its range: pure cache hit
+        let hits_before = s.snapshot_hits;
+        assert_eq!(e.answer(&SeedQuery::top_k(4).over_range(0..1000)).unwrap(), old_epoch);
+        let s = e.stats();
+        assert_eq!(s.snapshot_hits, hits_before + 1, "extension must not invalidate old epochs");
+        assert_eq!(s.epochs_frozen, 1);
     }
 
     #[test]

@@ -46,6 +46,12 @@
 //! assert!(result.influence_estimate > 0.0);
 //! ```
 
+//!
+//! The repository-level pipeline walk-through (sampler → inverted
+//! index → coverage view → gain snapshots → query engine) lives in
+//! `docs/ARCHITECTURE.md` at the workspace root; the stopping-rule
+//! math is derived in `docs/DERIVATIONS.md`.
+
 #![warn(missing_docs)]
 
 pub mod bounds;
@@ -62,7 +68,7 @@ mod ssa;
 
 pub use context::SamplingContext;
 pub use dssa::{Dssa, DssaIteration};
-pub use engine::{SeedAnswer, SeedQuery, SeedQueryEngine};
+pub use engine::{QueryStats, SeedAnswer, SeedQuery, SeedQueryEngine};
 pub use error::CoreError;
 pub use estimate_inf::{estimate_inf, estimate_inf_with_sink, EstimateInfOutcome, EstimateScratch};
 pub use framework::{ris_fixed_pool, RisThresholds};

@@ -35,6 +35,12 @@
 //! assert!((g.in_weight_sum(2) - 1.0).abs() < 1e-6);
 //! ```
 
+//!
+//! The repository-level pipeline walk-through (sampler → inverted
+//! index → coverage view → gain snapshots → query engine) lives in
+//! `docs/ARCHITECTURE.md` at the workspace root; the stopping-rule
+//! math is derived in `docs/DERIVATIONS.md`.
+
 #![warn(missing_docs)]
 
 mod alias;

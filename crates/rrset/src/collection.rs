@@ -113,6 +113,28 @@ impl RrCollection {
         self.index.compactions()
     }
 
+    /// Cumulative set-id boundaries of the sealed epochs, strictly
+    /// ascending: epoch `e` covers ids
+    /// `boundaries[e - 1] .. boundaries[e]` (with an implicit leading 0),
+    /// and ids at or past the last boundary are still pending. The list
+    /// is **append-only** — a seal only adds a boundary past the previous
+    /// frontier, never moves an existing one — so anything frozen against
+    /// a past epoch (per-epoch [`crate::GainSnapshot`]s in particular)
+    /// stays valid as the pool grows.
+    pub fn epoch_boundaries(&self) -> &[u32] {
+        self.index.epoch_bounds()
+    }
+
+    /// The sealed epochs as id ranges, in order (see
+    /// [`RrCollection::epoch_boundaries`]).
+    pub fn epochs(&self) -> impl Iterator<Item = Range<u32>> + '_ {
+        let bounds = self.index.epoch_bounds();
+        (0..bounds.len()).map(move |e| {
+            let lo = if e == 0 { 0 } else { bounds[e - 1] };
+            lo..bounds[e]
+        })
+    }
+
     /// The nodes of set `id` (root first).
     pub fn set(&self, id: usize) -> &[NodeId] {
         let (s, e) = (self.offsets[id] as usize, self.offsets[id + 1] as usize);
@@ -173,8 +195,12 @@ impl RrCollection {
 
     /// [`RrCollection::seal`] with a worker-thread budget for the
     /// counting-sort rebuild. The resulting index is bit-identical for
-    /// every `threads` value.
+    /// every `threads` value. Sealing an already fully sealed pool is a
+    /// no-op (no rebuild, no new epoch).
     pub fn seal_parallel(&mut self, threads: usize) {
+        if self.index.sealed_sets() as usize == self.len() {
+            return;
+        }
         self.index.compact(&self.data, &self.offsets, threads);
     }
 
@@ -410,6 +436,48 @@ mod tests {
         );
         // all queries still intact
         assert_eq!(rc.sets_containing(0).len(), 1000);
+    }
+
+    #[test]
+    fn epoch_boundaries_are_append_only_and_tile_the_sealed_prefix() {
+        let mut rc = RrCollection::new(4);
+        assert!(rc.epoch_boundaries().is_empty());
+        rc.push(&[0, 1], meta(0));
+        rc.push(&[1, 2], meta(1));
+        rc.seal();
+        assert_eq!(rc.epoch_boundaries(), &[2]);
+        assert_eq!(rc.epochs().collect::<Vec<_>>(), vec![0..2]);
+        // sealing a fully sealed pool is a no-op: no rebuild, no epoch
+        let compactions = rc.compactions();
+        rc.seal();
+        assert_eq!(rc.compactions(), compactions);
+        assert_eq!(rc.epoch_boundaries(), &[2]);
+        // growth + seal freezes exactly one new epoch; old bounds move
+        // nowhere (the append-only contract per-epoch snapshots rely on)
+        rc.push(&[2, 3], meta(2));
+        rc.push(&[3], meta(3));
+        rc.seal();
+        assert_eq!(rc.epoch_boundaries(), &[2, 4]);
+        assert_eq!(rc.epochs().collect::<Vec<_>>(), vec![0..2, 2..4]);
+        // pending sets past the last boundary belong to no epoch yet
+        rc.push(&[0], meta(0));
+        assert_eq!(rc.epoch_boundaries(), &[2, 4]);
+        assert_eq!(rc.len(), 5);
+    }
+
+    #[test]
+    fn threshold_compactions_record_epoch_boundaries() {
+        // push-driven growth crosses the compaction threshold on its
+        // own; every automatic seal must leave a boundary at its
+        // then-frontier, strictly ascending.
+        let mut rc = RrCollection::new(8);
+        for i in 0..3000u32 {
+            rc.push(&[i % 8, (i + 1) % 8], meta(0));
+        }
+        let bounds = rc.epoch_boundaries().to_vec();
+        assert_eq!(bounds.len() as u64, rc.compactions());
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "not ascending: {bounds:?}");
+        assert_eq!(*bounds.last().unwrap(), rc.sealed_sets());
     }
 
     #[test]

@@ -53,6 +53,7 @@
 //! writes the run's generation number, so reusing a scratch across
 //! rounds costs zero clearing work.
 
+use std::borrow::Cow;
 use std::collections::BinaryHeap;
 use std::ops::Range;
 
@@ -82,6 +83,18 @@ impl SeedConstraints<'_> {
     }
 }
 
+/// How [`CoverageView::select_inner`] obtains the initial per-node
+/// gains: a fresh streaming histogram, one frozen snapshot (memcpy), or
+/// a list of per-epoch snapshots summed at query time.
+enum GainInit<'a> {
+    /// One streaming pass over the slice's members, `O(entries)`.
+    Histogram,
+    /// Memcpy of a single frozen snapshot covering the whole range.
+    Frozen(&'a GainSnapshot),
+    /// Sum of per-epoch snapshots tiling the range, `O(n·parts)`.
+    Merged(&'a [&'a GainSnapshot]),
+}
+
 /// Range-rebased forward (`set → members`) CSR snapshot of a pool slice
 /// (see the module docs). Borrows the pool: the member data is the
 /// arena's own contiguous slice (zero-copy), and the per-seed inverted
@@ -91,7 +104,11 @@ pub struct CoverageView<'a> {
     rc: &'a RrCollection,
     range: Range<u32>,
     /// Slot `j` spans `set_data[set_offsets[j]..set_offsets[j + 1]]`.
-    set_offsets: CsrOffsets,
+    /// Owned when built by the per-call rebase ([`CoverageView::build`]);
+    /// borrowed when a [`GainSnapshot`] lends its frozen copy
+    /// ([`GainSnapshot::view`]), which makes steady-state snapshot
+    /// queries skip the `O(range_len)` rebase entirely.
+    set_offsets: Cow<'a, CsrOffsets>,
     /// Concatenated members of the in-range sets — the arena slice
     /// spanning the range, borrowed, since it is already contiguous.
     set_data: &'a [NodeId],
@@ -115,7 +132,40 @@ impl<'a> CoverageView<'a> {
         let set_data = &data[base as usize..offsets[range.end as usize] as usize];
         let set_offsets =
             CsrOffsets::rebased(&offsets[range.start as usize..=range.end as usize], base);
-        CoverageView { rc, range, set_offsets, set_data }
+        CoverageView { rc, range, set_offsets: Cow::Owned(set_offsets), set_data }
+    }
+
+    /// [`CoverageView::build`] with the rebased offsets supplied by a
+    /// frozen snapshot instead of recomputed — `O(1)`, the steady-state
+    /// fast path of `sns-core`'s query engine. Only reachable through
+    /// [`GainSnapshot::view`] (and its weighted twin), whose caller must
+    /// pass the pool the snapshot was built from; the total-entry-count
+    /// cross-check below catches a wrong-pool mix-up (it cannot prove
+    /// the pools identical, but two pools rarely agree on the entry
+    /// count of a slice by accident).
+    pub(crate) fn with_frozen_offsets(
+        rc: &'a RrCollection,
+        range: Range<u32>,
+        set_offsets: &'a CsrOffsets,
+    ) -> Self {
+        assert!(
+            range.start <= range.end && range.end as usize <= rc.len(),
+            "coverage view range {range:?} out of bounds for pool of {} sets",
+            rc.len()
+        );
+        let (data, offsets) = rc.arena();
+        let base = offsets[range.start as usize];
+        let set_data = &data[base as usize..offsets[range.end as usize] as usize];
+        if range.start < range.end {
+            let last = (range.end - range.start - 1) as usize;
+            assert_eq!(
+                set_offsets.span(last).end,
+                set_data.len(),
+                "frozen offsets disagree with the pool arena over {range:?} — \
+                 snapshot applied to a different pool?"
+            );
+        }
+        CoverageView { rc, range, set_offsets: Cow::Borrowed(set_offsets), set_data }
     }
 
     /// Number of sets in the view's range.
@@ -154,7 +204,7 @@ impl<'a> CoverageView<'a> {
     /// generation-stamped covered/selected marks; reusing one scratch
     /// across rounds skips all per-round clearing and reallocation.
     pub fn select(&self, k: usize, scratch: &mut GreedyScratch) -> CoverageResult {
-        self.select_inner(k, &SeedConstraints::none(), scratch, None)
+        self.select_inner(k, &SeedConstraints::none(), scratch, GainInit::Histogram)
     }
 
     /// [`CoverageView::select`] with the histogram pass replaced by a
@@ -171,7 +221,38 @@ impl<'a> CoverageView<'a> {
         k: usize,
         scratch: &mut GreedyScratch,
     ) -> CoverageResult {
-        self.select_inner(k, &SeedConstraints::none(), scratch, Some(snapshot))
+        self.select_inner(k, &SeedConstraints::none(), scratch, GainInit::Frozen(snapshot))
+    }
+
+    /// [`CoverageView::select_from_snapshot`] over a *list* of per-epoch
+    /// snapshots tiling this view's range: the gain histograms of the
+    /// parts are summed and the heap seed is rebuilt from the merged
+    /// histogram (`O(n·parts)`), then selection proceeds exactly as with
+    /// a single frozen snapshot. Bit-identical to
+    /// [`CoverageView::select_constrained`] on the same slice — summing
+    /// per-epoch `u32` histograms produces the very counts one streaming
+    /// pass over the whole range would.
+    ///
+    /// This is the query-time half of epoch-incremental snapshot
+    /// maintenance: when a pool grows, only the new epoch needs freezing
+    /// ([`GainSnapshot::build`]); queries spanning old and new epochs
+    /// merge here instead of invalidating anything. Callers answering
+    /// the same multi-epoch range repeatedly should materialize the
+    /// merge once with [`GainSnapshot::merge`] and use the single-
+    /// snapshot fast path afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshots do not tile `self.range()` contiguously
+    /// in order, or if more than `k` seeds are forced.
+    pub fn select_from_snapshots(
+        &self,
+        parts: &[&GainSnapshot],
+        k: usize,
+        constraints: &SeedConstraints<'_>,
+        scratch: &mut GreedyScratch,
+    ) -> CoverageResult {
+        self.select_inner(k, constraints, scratch, GainInit::Merged(parts))
     }
 
     /// [`CoverageView::select`] under [`SeedConstraints`]: forced seeds
@@ -184,7 +265,7 @@ impl<'a> CoverageView<'a> {
         constraints: &SeedConstraints<'_>,
         scratch: &mut GreedyScratch,
     ) -> CoverageResult {
-        self.select_inner(k, constraints, scratch, None)
+        self.select_inner(k, constraints, scratch, GainInit::Histogram)
     }
 
     /// [`CoverageView::select_from_snapshot`] under [`SeedConstraints`] —
@@ -197,7 +278,7 @@ impl<'a> CoverageView<'a> {
         constraints: &SeedConstraints<'_>,
         scratch: &mut GreedyScratch,
     ) -> CoverageResult {
-        self.select_inner(k, constraints, scratch, Some(snapshot))
+        self.select_inner(k, constraints, scratch, GainInit::Frozen(snapshot))
     }
 
     /// Walks the sets of `v` within the view's range, marking each
@@ -229,7 +310,7 @@ impl<'a> CoverageView<'a> {
         k: usize,
         constraints: &SeedConstraints<'_>,
         scratch: &mut GreedyScratch,
-        frozen: Option<&GainSnapshot>,
+        init: GainInit<'_>,
     ) -> CoverageResult {
         let n = self.rc.num_nodes();
         let k = k.min(n as usize);
@@ -244,8 +325,8 @@ impl<'a> CoverageView<'a> {
         heap_buf.clear();
         let gain = &mut scratch.gain;
         gain.clear();
-        match frozen {
-            Some(snapshot) => {
+        match init {
+            GainInit::Frozen(snapshot) => {
                 // Frozen-pool fast path: both the exact gains and the
                 // nonzero heap seed are memcpys of the snapshot.
                 assert_eq!(
@@ -256,7 +337,38 @@ impl<'a> CoverageView<'a> {
                 gain.extend_from_slice(snapshot.gains());
                 heap_buf.extend_from_slice(snapshot.heap_seed());
             }
-            None => {
+            GainInit::Merged(parts) => {
+                // Epoch-merge path: sum the per-epoch histograms (the
+                // counts one full-range streaming pass would produce,
+                // since `u32` addition is order-independent) and rebuild
+                // the nonzero heap seed from the merged table.
+                let mut pos = self.range.start;
+                for part in parts {
+                    assert_eq!(
+                        part.range().start,
+                        pos,
+                        "epoch snapshots must tile the view's range {:?} contiguously",
+                        self.range
+                    );
+                    assert_eq!(
+                        part.gains().len(),
+                        n as usize,
+                        "epoch snapshot spans a different node universe"
+                    );
+                    pos = part.range().end;
+                }
+                assert_eq!(pos, self.range.end, "epoch snapshots stop short of the view's range");
+                gain.resize(n as usize, 0);
+                for part in parts {
+                    for (g, &p) in gain.iter_mut().zip(part.gains()) {
+                        *g += p;
+                    }
+                }
+                heap_buf.extend(
+                    (0..n).filter(|&v| gain[v as usize] > 0).map(|v| (gain[v as usize], v)),
+                );
+            }
+            GainInit::Histogram => {
                 // Exact current marginal gain per node, by one streaming
                 // histogram pass over the materialized members (== the
                 // in-range degree `sets_containing_in(v, range).len()`
@@ -342,6 +454,12 @@ impl<'a> CoverageView<'a> {
     /// histogram pass streams) — shared with [`GainSnapshot::build`].
     pub(crate) fn raw_members(&self) -> &[NodeId] {
         self.set_data
+    }
+
+    /// The rebased per-slot offsets — what [`GainSnapshot::build`]
+    /// freezes so later views can skip the rebase.
+    pub(crate) fn offsets(&self) -> &CsrOffsets {
+        &self.set_offsets
     }
 
     /// The pool this view snapshots (for the per-seed inverted queries

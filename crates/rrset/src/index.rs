@@ -124,6 +124,62 @@ impl CsrOffsets {
         }
     }
 
+    /// Concatenates rebased (zero-based) offset arrays of adjacent pool
+    /// slices into the offset array of their union: each part contributes
+    /// its per-slot extents shifted by the cumulative entry count of the
+    /// parts before it. Width-adaptive like the other constructors. Used
+    /// by `GainSnapshot::merge` to stitch per-epoch offset arrays without
+    /// touching the pool arena.
+    ///
+    /// Every part must be a non-empty dense offset array starting at 0
+    /// (what [`CsrOffsets::rebased`] produces).
+    pub(crate) fn concat(parts: &[&CsrOffsets]) -> CsrOffsets {
+        assert!(!parts.is_empty(), "cannot concatenate zero offset arrays");
+        let total_entries: u64 = parts.iter().map(|p| p.last_entry()).sum();
+        let total_slots: usize = parts.iter().map(|p| p.num_slots()).sum();
+        if total_entries <= u32::MAX as u64 {
+            let mut out = Vec::with_capacity(total_slots + 1);
+            out.push(0u32);
+            let mut base = 0u32;
+            for part in parts {
+                match part {
+                    CsrOffsets::Narrow(o) => out.extend(o[1..].iter().map(|&v| base + v)),
+                    CsrOffsets::Wide(o) => out.extend(o[1..].iter().map(|&v| base + v as u32)),
+                }
+                base = *out.last().expect("offsets non-empty");
+            }
+            CsrOffsets::Narrow(out)
+        } else {
+            let mut out = Vec::with_capacity(total_slots + 1);
+            out.push(0u64);
+            let mut base = 0u64;
+            for part in parts {
+                match part {
+                    CsrOffsets::Narrow(o) => out.extend(o[1..].iter().map(|&v| base + v as u64)),
+                    CsrOffsets::Wide(o) => out.extend(o[1..].iter().map(|&v| base + v)),
+                }
+                base = *out.last().expect("offsets non-empty");
+            }
+            CsrOffsets::Wide(out)
+        }
+    }
+
+    /// Final offset = total entry count spanned by this array.
+    fn last_entry(&self) -> u64 {
+        match self {
+            CsrOffsets::Narrow(o) => o.last().copied().unwrap_or(0) as u64,
+            CsrOffsets::Wide(o) => o.last().copied().unwrap_or(0),
+        }
+    }
+
+    /// Number of slots (offset count minus the leading 0).
+    fn num_slots(&self) -> usize {
+        match self {
+            CsrOffsets::Narrow(o) => o.len().saturating_sub(1),
+            CsrOffsets::Wide(o) => o.len().saturating_sub(1),
+        }
+    }
+
     #[inline]
     pub(crate) fn span(&self, v: usize) -> Range<usize> {
         match self {
@@ -166,6 +222,13 @@ pub(crate) struct TwoTierIndex {
     indexed_entries: u64,
     /// Lifetime count of compactions (epoch seals).
     compactions: u64,
+    /// Cumulative set-id boundaries of the sealed epochs: epoch `e`
+    /// covers ids `epoch_bounds[e - 1] .. epoch_bounds[e]` (with an
+    /// implicit leading 0). Strictly ascending; a compaction that seals
+    /// no new sets records no boundary. Append-only — once a boundary is
+    /// recorded it never moves, which is what lets per-epoch gain
+    /// snapshots stay valid across pool growth.
+    epoch_bounds: Vec<u32>,
 }
 
 /// Compact only once the pending tier holds at least this many entries…
@@ -190,6 +253,7 @@ impl TwoTierIndex {
             indexed_sets: 0,
             indexed_entries: 0,
             compactions: 0,
+            epoch_bounds: Vec::new(),
         }
     }
 
@@ -203,6 +267,10 @@ impl TwoTierIndex {
 
     pub(crate) fn compactions(&self) -> u64 {
         self.compactions
+    }
+
+    pub(crate) fn epoch_bounds(&self) -> &[u32] {
+        &self.epoch_bounds
     }
 
     /// Indexes every set in `sets_tail_of(arena)` that is not yet known,
@@ -360,6 +428,11 @@ impl TwoTierIndex {
         self.indexed_entries = entries as u64;
         self.pending.clear_and_free();
         self.compactions += 1;
+        // A new epoch exists only if this seal advanced the sealed
+        // frontier; re-sealing an already sealed pool records nothing.
+        if total_sets > 0 && self.epoch_bounds.last().copied().unwrap_or(0) < total_sets as u32 {
+            self.epoch_bounds.push(total_sets as u32);
+        }
     }
 
     #[inline]

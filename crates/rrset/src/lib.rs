@@ -27,6 +27,12 @@
 //! [`max_coverage_range`] and [`RrCollection::coverage_of_range`] take a
 //! set-id range so the halves can live in one pool without copying.
 
+//!
+//! The repository-level pipeline walk-through (sampler → inverted
+//! index → coverage view → gain snapshots → query engine) lives in
+//! `docs/ARCHITECTURE.md` at the workspace root; the stopping-rule
+//! math is derived in `docs/DERIVATIONS.md`.
+
 #![warn(missing_docs)]
 
 mod bucket;
@@ -43,4 +49,4 @@ pub use greedy::{
     max_coverage, max_coverage_naive, max_coverage_pre_refactor, max_coverage_range, CoverageResult,
 };
 pub use index::SetIds;
-pub use snapshot::{GainSnapshot, WeightedCoverageResult};
+pub use snapshot::{GainSnapshot, WeightedCoverageResult, WeightedGainSnapshot};

@@ -17,11 +17,25 @@
 //! downstream is shared code.
 //!
 //! A snapshot is immutable and detached from the pool borrow (it owns
-//! plain arrays), so a server can hold `Arc<GainSnapshot>`s and fan
-//! queries out across threads — `sns-core`'s `SeedQueryEngine` does.
-//! Appending to the pool invalidates a snapshot *semantically* (it
-//! describes the old slice); keep snapshots keyed by the id range they
-//! froze, and only snapshot sealed slices that will not change.
+//! plain arrays — including the slice's rebased CSR offsets, so
+//! [`GainSnapshot::view`] rebuilds a [`CoverageView`] in `O(1)`), and a
+//! server can hold `Arc<GainSnapshot>`s and fan queries out across
+//! threads — `sns-core`'s `SeedQueryEngine` does.
+//!
+//! # Epoch-incremental maintenance
+//!
+//! Pool ids are append-only: a frozen slice's contents never change, so
+//! growth never *invalidates* a snapshot — it only leaves new ids
+//! uncovered. The incremental scheme freezes one snapshot per sealed
+//! pool epoch (`RrCollection::epoch_boundaries`) and answers a query
+//! spanning several epochs by **merging**: gain histograms sum, the
+//! heap seed is rebuilt from the merged histogram, offsets concatenate
+//! — either materialized once ([`GainSnapshot::merge`]) or at query
+//! time ([`CoverageView::select_from_snapshots`]). Both are
+//! bit-identical to a from-scratch snapshot of the union range, so a
+//! pool extension costs one new epoch freeze instead of a wholesale
+//! cache rebuild. See `docs/ARCHITECTURE.md` (repository root) for the
+//! lifecycle diagram.
 //!
 //! # Weighted universes
 //!
@@ -35,20 +49,30 @@
 //! frozen pool serves every target group without resampling. (This is a
 //! self-normalized reweighting of Lemma 1, not the paper's WRIS sampler:
 //! precision concentrates where `b` does, so sparse target groups warrant
-//! proportionally larger pools.) Weights vary per query, so this path
-//! has no frozen-gain shortcut; it shares the constraint handling,
-//! stamps and tie-breaking of the unweighted loop.
+//! proportionally larger pools — see `docs/DERIVATIONS.md` §5.) The path
+//! shares the constraint handling, stamps and tie-breaking of the
+//! unweighted loop. One-off weight vectors pay a per-query gain pass;
+//! *recurring* ones (a topic queried again and again) freeze it once in
+//! a [`WeightedGainSnapshot`] and start from a memcpy like the
+//! unweighted fast path.
 
 use std::collections::BinaryHeap;
 use std::ops::Range;
 
 use sns_graph::NodeId;
 
-use crate::{CoverageView, GreedyScratch, SeedConstraints};
+use crate::index::CsrOffsets;
+use crate::{CoverageView, GreedyScratch, RrCollection, SeedConstraints};
 
 /// The frozen per-node gain state of one pool slice: exactly what
 /// [`CoverageView::select`]'s initialization pass computes, sealed once
 /// so repeated queries start from a memcpy (see the module docs).
+///
+/// Since PR 4 a snapshot also freezes the slice's rebased forward-CSR
+/// offsets, so [`GainSnapshot::view`] reconstructs a [`CoverageView`] in
+/// `O(1)` — a steady-state cache hit does zero `O(range_len)` rebase
+/// work — and snapshots of *adjacent* slices (one per sealed pool epoch)
+/// can be [`GainSnapshot::merge`]d without touching the pool arena.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GainSnapshot {
     range: Range<u32>,
@@ -57,11 +81,15 @@ pub struct GainSnapshot {
     /// `(gain, v)` for every node with nonzero gain, ascending `v` — the
     /// exact buffer the selection loop heapifies.
     heap_seed: Vec<(u32, NodeId)>,
+    /// The slice's rebased forward-CSR offsets, exactly as
+    /// [`CoverageView::build`] computes them.
+    offsets: CsrOffsets,
 }
 
 impl GainSnapshot {
     /// Runs the histogram and heap-seed passes for `view`'s slice and
-    /// freezes the result.
+    /// freezes the result (gains, heap seed, and the view's rebased
+    /// offsets).
     pub fn build(view: &CoverageView<'_>) -> Self {
         let n = view.num_nodes();
         let mut gains = vec![0u32; n as usize];
@@ -70,7 +98,61 @@ impl GainSnapshot {
         }
         let heap_seed =
             (0..n).filter(|&v| gains[v as usize] > 0).map(|v| (gains[v as usize], v)).collect();
-        GainSnapshot { range: view.range(), gains, heap_seed }
+        GainSnapshot { range: view.range(), gains, heap_seed, offsets: view.offsets().clone() }
+    }
+
+    /// Merges snapshots of adjacent pool slices into the snapshot of
+    /// their union: gain histograms sum element-wise, the heap seed is
+    /// rebuilt from the merged histogram, and the offset arrays are
+    /// stitched — all without reading the pool. `O(n·parts + range_len)`.
+    /// The result is exactly what [`GainSnapshot::build`] over the union
+    /// range would produce, so everything downstream stays bit-identical.
+    ///
+    /// This is how pool growth stays cheap for a serving cache: freeze
+    /// one snapshot per sealed epoch, and answer a query spanning many
+    /// epochs from their merge — extending the pool then freezes only the
+    /// new epoch instead of invalidating every cached range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty, the parts do not tile a contiguous id
+    /// range in order, or their node universes disagree.
+    pub fn merge(parts: &[&GainSnapshot]) -> Self {
+        let first = parts.first().expect("cannot merge zero snapshots");
+        let n = first.gains.len();
+        let mut pos = first.range.start;
+        for part in parts {
+            assert_eq!(part.range.start, pos, "snapshots must tile a contiguous id range");
+            assert_eq!(part.gains.len(), n, "snapshots span different node universes");
+            pos = part.range.end;
+        }
+        let range = first.range.start..pos;
+        let mut gains = vec![0u32; n];
+        for part in parts {
+            for (g, &p) in gains.iter_mut().zip(&part.gains) {
+                *g += p;
+            }
+        }
+        let heap_seed = (0..n as u32)
+            .filter(|&v| gains[v as usize] > 0)
+            .map(|v| (gains[v as usize], v))
+            .collect();
+        let offsets = CsrOffsets::concat(&parts.iter().map(|p| &p.offsets).collect::<Vec<_>>());
+        GainSnapshot { range, gains, heap_seed, offsets }
+    }
+
+    /// Reconstructs a [`CoverageView`] for this snapshot's slice in
+    /// `O(1)`, lending the frozen offsets instead of rebasing — pair with
+    /// [`CoverageView::select_from_snapshot`] for the zero-rebase query
+    /// path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's range is out of bounds for `rc`. The
+    /// caller must pass the pool the snapshot was built from (ranges are
+    /// append-only, so growth never invalidates this).
+    pub fn view<'a>(&'a self, rc: &'a RrCollection) -> CoverageView<'a> {
+        CoverageView::with_frozen_offsets(rc, self.range.clone(), &self.offsets)
     }
 
     /// The pool id range this snapshot froze.
@@ -93,6 +175,7 @@ impl GainSnapshot {
         use std::mem::size_of;
         (self.gains.capacity() * size_of::<u32>()
             + self.heap_seed.capacity() * size_of::<(u32, NodeId)>()) as u64
+            + self.offsets.memory_bytes()
     }
 }
 
@@ -114,6 +197,100 @@ impl PartialOrd for WeightOrd {
 impl Ord for WeightOrd {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         self.0.total_cmp(&other.0)
+    }
+}
+
+/// The frozen initial state of a *weighted* selection over one pool
+/// slice under one fixed weight vector: the weighted gain table and heap
+/// seed that [`CoverageView::select_weighted`] recomputes per call
+/// (`O(entries)` streaming additions), plus the slice's rebased offsets.
+///
+/// Weighted gains depend on the query's weight vector, so a weighted
+/// snapshot is only reusable while *both* the slice and the weights are
+/// fixed — the repeated-topic (TVM) serving case. `sns-core`'s
+/// `SeedQueryEngine` keys these by `(range, topic id)` and verifies the
+/// weight vector by `Arc` identity. Floating-point sums are performed in
+/// the same order as the per-call pass, so selection through a frozen
+/// weighted snapshot is bit-identical to the fresh path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedGainSnapshot {
+    range: Range<u32>,
+    /// `wgains[v]` = Σ of `node_weights[root(j)]` over in-range sets `j`
+    /// containing `v`.
+    wgains: Vec<f64>,
+    /// `(weight, v)` for every node with positive weighted gain,
+    /// ascending `v` — the exact buffer the weighted loop heapifies.
+    heap_seed: Vec<(WeightOrd, NodeId)>,
+    /// The slice's rebased forward-CSR offsets (as [`GainSnapshot`]).
+    offsets: CsrOffsets,
+}
+
+impl WeightedGainSnapshot {
+    /// Runs the weighted gain-init pass for `view`'s slice under
+    /// `node_weights` and freezes the result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node_weights` is not one finite nonnegative weight per
+    /// node.
+    pub fn build(view: &CoverageView<'_>, node_weights: &[f64]) -> Self {
+        let n = view.num_nodes();
+        assert_eq!(node_weights.len(), n as usize, "need one weight per node");
+        assert!(
+            node_weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "weights must be finite and nonnegative"
+        );
+        let mut wgains = vec![0.0f64; n as usize];
+        accumulate_weighted_gains(view, node_weights, &mut wgains);
+        let heap_seed = (0..n)
+            .filter(|&v| wgains[v as usize] > 0.0)
+            .map(|v| (WeightOrd(wgains[v as usize]), v))
+            .collect();
+        WeightedGainSnapshot {
+            range: view.range(),
+            wgains,
+            heap_seed,
+            offsets: view.offsets().clone(),
+        }
+    }
+
+    /// Reconstructs a [`CoverageView`] for this snapshot's slice in
+    /// `O(1)` from the frozen offsets (see [`GainSnapshot::view`]).
+    pub fn view<'a>(&'a self, rc: &'a RrCollection) -> CoverageView<'a> {
+        CoverageView::with_frozen_offsets(rc, self.range.clone(), &self.offsets)
+    }
+
+    /// The pool id range this snapshot froze.
+    pub fn range(&self) -> Range<u32> {
+        self.range.clone()
+    }
+
+    /// Bytes owned by the frozen arrays (counting capacities).
+    pub fn memory_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        (self.wgains.capacity() * size_of::<f64>()
+            + self.heap_seed.capacity() * size_of::<(WeightOrd, NodeId)>()) as u64
+            + self.offsets.memory_bytes()
+    }
+}
+
+/// The weighted gain-init pass shared by the per-call path and
+/// [`WeightedGainSnapshot::build`]: adds each in-range set's root weight
+/// to all of its members, in slot order (so frozen and fresh float sums
+/// are bit-identical).
+fn accumulate_weighted_gains(view: &CoverageView<'_>, node_weights: &[f64], wgains: &mut [f64]) {
+    for slot in 0..view.len() {
+        let members = view.members(slot);
+        // Sets store their root first; an empty set has no root and
+        // carries no weight.
+        let Some(&root) = members.first() else { continue };
+        let w = node_weights[root as usize];
+        if w == 0.0 {
+            continue;
+        }
+        for &v in members {
+            wgains[v as usize] += w;
+        }
     }
 }
 
@@ -149,6 +326,39 @@ impl CoverageView<'_> {
         constraints: &SeedConstraints<'_>,
         scratch: &mut GreedyScratch,
     ) -> WeightedCoverageResult {
+        self.select_weighted_inner(k, node_weights, constraints, scratch, None)
+    }
+
+    /// [`CoverageView::select_weighted`] with the per-call weighted
+    /// gain-init pass replaced by a memcpy of `snapshot`'s frozen table
+    /// and heap seed — the repeated-topic fast path. `node_weights` must
+    /// be the same weights the snapshot was built with (the decremental
+    /// updates still consult them); the engine layer enforces this via
+    /// topic keying. Bit-identical to [`CoverageView::select_weighted`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `snapshot` was built for a different pool slice, if
+    /// `node_weights` is malformed, or if more than `k` seeds are forced.
+    pub fn select_weighted_from_snapshot(
+        &self,
+        snapshot: &WeightedGainSnapshot,
+        k: usize,
+        node_weights: &[f64],
+        constraints: &SeedConstraints<'_>,
+        scratch: &mut GreedyScratch,
+    ) -> WeightedCoverageResult {
+        self.select_weighted_inner(k, node_weights, constraints, scratch, Some(snapshot))
+    }
+
+    fn select_weighted_inner(
+        &self,
+        k: usize,
+        node_weights: &[f64],
+        constraints: &SeedConstraints<'_>,
+        scratch: &mut GreedyScratch,
+        frozen: Option<&WeightedGainSnapshot>,
+    ) -> WeightedCoverageResult {
         let n = self.num_nodes();
         let k = k.min(n as usize);
         assert_eq!(node_weights.len(), n as usize, "need one weight per node");
@@ -163,31 +373,33 @@ impl CoverageView<'_> {
         );
         let generation = scratch.begin_run(n as usize, self.len());
 
-        // Weighted gain init: one streaming pass like the unweighted
-        // histogram, adding each set's weight to all of its members.
-        scratch.wgain.clear();
-        scratch.wgain.resize(n as usize, 0.0);
-        for slot in 0..self.len() {
-            let members = self.members(slot);
-            // Sets store their root first; an empty set has no root and
-            // carries no weight.
-            let Some(&root) = members.first() else { continue };
-            let w = node_weights[root as usize];
-            if w == 0.0 {
-                continue;
-            }
-            for &v in members {
-                scratch.wgain[v as usize] += w;
-            }
-        }
-
         let mut heap_buf = std::mem::take(&mut scratch.wheap_buf);
         heap_buf.clear();
-        heap_buf.extend(
-            (0..n)
-                .filter(|&v| scratch.wgain[v as usize] > 0.0)
-                .map(|v| (WeightOrd(scratch.wgain[v as usize]), v)),
-        );
+        scratch.wgain.clear();
+        match frozen {
+            Some(snapshot) => {
+                // Frozen-topic fast path: gains and heap seed are memcpys.
+                assert_eq!(
+                    snapshot.range(),
+                    self.range(),
+                    "weighted gain snapshot was built for a different pool slice"
+                );
+                scratch.wgain.extend_from_slice(&snapshot.wgains);
+                heap_buf.extend_from_slice(&snapshot.heap_seed);
+            }
+            None => {
+                // Weighted gain init: one streaming pass like the
+                // unweighted histogram, adding each set's weight to all
+                // of its members.
+                scratch.wgain.resize(n as usize, 0.0);
+                accumulate_weighted_gains(self, node_weights, &mut scratch.wgain);
+                heap_buf.extend(
+                    (0..n)
+                        .filter(|&v| scratch.wgain[v as usize] > 0.0)
+                        .map(|v| (WeightOrd(scratch.wgain[v as usize]), v)),
+                );
+            }
+        }
         let mut heap: BinaryHeap<(WeightOrd, NodeId)> = BinaryHeap::from(heap_buf);
 
         let mut seeds = Vec::with_capacity(k);
@@ -350,6 +562,132 @@ mod tests {
         }
         assert_eq!(first, max_coverage_range(&rc, 5, 0..100));
         assert!(snap.memory_bytes() > 0);
+    }
+
+    /// Acceptance property: seeds selected through epoch-merged
+    /// snapshots are bit-identical to direct `max_coverage` on the same
+    /// pool state, across several epoch layouts (including unaligned
+    /// sub-ranges), both via a materialized [`GainSnapshot::merge`] and
+    /// via the query-time [`CoverageView::select_from_snapshots`] path.
+    #[test]
+    fn epoch_merged_selection_is_bit_identical_across_layouts() {
+        let mut scratch = GreedyScratch::new();
+        for seed in 0..6u64 {
+            let rc = random_pool(seed, 30, 160);
+            // ≥3 epoch layouts: balanced, doubling-schedule-like, many tiny
+            let layouts: [&[u32]; 4] =
+                [&[40, 100, 160], &[20, 40, 80, 160], &[10, 20, 30, 60, 100, 160], &[160]];
+            for (start, bounds) in layouts.iter().enumerate().map(|(i, b)| ((i as u32) * 7, *b)) {
+                let mut parts = Vec::new();
+                let mut lo = start;
+                for &hi in bounds {
+                    if hi <= lo {
+                        continue;
+                    }
+                    parts.push(GainSnapshot::build(&CoverageView::build(&rc, lo..hi)));
+                    lo = hi;
+                }
+                let range = start..lo;
+                let refs: Vec<&GainSnapshot> = parts.iter().collect();
+                let merged = GainSnapshot::merge(&refs);
+                assert_eq!(merged.range(), range);
+                // the merge must reproduce the from-scratch snapshot
+                // exactly — gains, heap seed, and offsets
+                let direct = GainSnapshot::build(&CoverageView::build(&rc, range.clone()));
+                assert_eq!(merged, direct, "seed {seed} range {range:?}");
+                let view = merged.view(&rc);
+                for k in [1usize, 4, 9] {
+                    let want = max_coverage_range(&rc, k, range.clone());
+                    let via_merged = view.select_from_snapshot(&merged, k, &mut scratch);
+                    assert_eq!(via_merged, want, "materialized merge, seed {seed} k {k}");
+                    let at_query_time = view.select_from_snapshots(
+                        &refs,
+                        k,
+                        &SeedConstraints::none(),
+                        &mut scratch,
+                    );
+                    assert_eq!(at_query_time, want, "query-time merge, seed {seed} k {k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frozen_offsets_view_equals_rebuilt_view() {
+        let rc = random_pool(11, 25, 120);
+        let built = CoverageView::build(&rc, 15..95);
+        let snap = GainSnapshot::build(&built);
+        let frozen = snap.view(&rc);
+        assert_eq!(frozen.range(), built.range());
+        assert_eq!(frozen.len(), built.len());
+        for slot in 0..built.len() {
+            assert_eq!(frozen.members(slot), built.members(slot));
+        }
+        let mut scratch = GreedyScratch::new();
+        assert_eq!(frozen.select(6, &mut scratch), built.select(6, &mut scratch));
+    }
+
+    #[test]
+    #[should_panic(expected = "tile a contiguous id range")]
+    fn merge_rejects_gapped_parts() {
+        let rc = random_pool(2, 10, 60);
+        let a = GainSnapshot::build(&CoverageView::build(&rc, 0..20));
+        let b = GainSnapshot::build(&CoverageView::build(&rc, 30..60));
+        GainSnapshot::merge(&[&a, &b]);
+    }
+
+    #[test]
+    fn weighted_snapshot_matches_fresh_weighted_selection() {
+        use rand::{Rng, SeedableRng};
+        let mut scratch = GreedyScratch::new();
+        for seed in 0..5u64 {
+            let rc = random_pool(200 + seed, 20, 90);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let w: Vec<f64> = (0..20).map(|_| f64::from(rng.gen_range(0..5u32)) / 2.0).collect();
+            for range in [0..90u32, 10..70] {
+                let view = CoverageView::build(&rc, range.clone());
+                let snap = WeightedGainSnapshot::build(&view, &w);
+                assert_eq!(snap.range(), range);
+                assert!(snap.memory_bytes() > 0);
+                let frozen_view = snap.view(&rc);
+                for k in [1usize, 4] {
+                    let fresh = view.select_weighted(k, &w, &SeedConstraints::none(), &mut scratch);
+                    let frozen = frozen_view.select_weighted_from_snapshot(
+                        &snap,
+                        k,
+                        &w,
+                        &SeedConstraints::none(),
+                        &mut scratch,
+                    );
+                    assert_eq!(frozen, fresh, "seed {seed} range {range:?} k {k}");
+                    // repeated frozen queries stay stable
+                    let again = frozen_view.select_weighted_from_snapshot(
+                        &snap,
+                        k,
+                        &w,
+                        &SeedConstraints::none(),
+                        &mut scratch,
+                    );
+                    assert_eq!(again, fresh);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different pool slice")]
+    fn weighted_snapshot_range_mismatch_panics() {
+        let rc = random_pool(1, 10, 40);
+        let w = vec![1.0f64; 10];
+        let snap = WeightedGainSnapshot::build(&CoverageView::build(&rc, 0..20), &w);
+        let view = CoverageView::build(&rc, 0..40);
+        view.select_weighted_from_snapshot(
+            &snap,
+            2,
+            &w,
+            &SeedConstraints::none(),
+            &mut GreedyScratch::new(),
+        );
     }
 
     #[test]

@@ -37,6 +37,12 @@
 //! assert_eq!(r.seeds.len(), 3);
 //! ```
 
+//!
+//! The repository-level pipeline walk-through (sampler → inverted
+//! index → coverage view → gain snapshots → query engine) lives in
+//! `docs/ARCHITECTURE.md` at the workspace root; the stopping-rule
+//! math is derived in `docs/DERIVATIONS.md`.
+
 #![warn(missing_docs)]
 
 mod algorithms;

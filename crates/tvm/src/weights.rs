@@ -1,5 +1,8 @@
 //! Target-group weights and the synthetic topic model.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
@@ -37,12 +40,29 @@ pub const TOPIC_2: TopicSpec = TopicSpec {
     fraction: 507_465.0 / 41_700_000.0,
 };
 
+/// Source of the process-unique topic ids handed to
+/// [`TargetWeights::topic_id`]. Minted from the upper half of the `u64`
+/// space so ids never collide with the small integers callers naturally
+/// pick for hand-managed `SeedQuery::with_topic` ids (a collision only
+/// thrashes the weighted-snapshot cache — `Arc` identity keeps answers
+/// correct — but disjoint namespaces avoid even that).
+static NEXT_TOPIC_ID: AtomicU64 = AtomicU64::new(1 << 63);
+
 /// Validated per-node relevance weights `b(v) ≥ 0` with `Γ = Σ b(v) > 0`.
+///
+/// The weight vector is stored behind an [`Arc`] and every instance
+/// carries a process-unique [`TargetWeights::topic_id`], so queries
+/// minted by [`TargetWeights::seed_query`] share the allocation (no
+/// n-length clone per query) and `sns_core::SeedQueryEngine` can cache
+/// one weighted gain snapshot per `(range, topic)` across repeated
+/// queries. Clones share both the weights and the id — they *are* the
+/// same topic.
 #[derive(Debug, Clone)]
 pub struct TargetWeights {
-    weights: Vec<f64>,
+    weights: Arc<[f64]>,
     gamma: f64,
     num_targeted: u32,
+    topic_id: u64,
 }
 
 impl TargetWeights {
@@ -66,13 +86,23 @@ impl TargetWeights {
         if weights.is_empty() || gamma <= 0.0 {
             return Err(GraphError::ZeroTotalWeight);
         }
-        Ok(TargetWeights { weights, gamma, num_targeted })
+        Ok(TargetWeights {
+            weights: weights.into(),
+            gamma,
+            num_targeted,
+            topic_id: NEXT_TOPIC_ID.fetch_add(1, Ordering::Relaxed),
+        })
     }
 
     /// Uniform weight 1 on every node — TVM degenerates to classic IM
     /// (`Γ = n`, roots effectively uniform).
     pub fn uniform_all(n: u32) -> Self {
-        TargetWeights { weights: vec![1.0; n as usize], gamma: f64::from(n), num_targeted: n }
+        TargetWeights {
+            weights: vec![1.0; n as usize].into(),
+            gamma: f64::from(n),
+            num_targeted: n,
+            topic_id: NEXT_TOPIC_ID.fetch_add(1, Ordering::Relaxed),
+        }
     }
 
     /// Synthesizes a topic's target group on `graph` — the stand-in for
@@ -131,6 +161,18 @@ impl TargetWeights {
         &self.weights
     }
 
+    /// The shared weight allocation — hand this to query constructors to
+    /// avoid copying the n-length vector.
+    pub fn shared_weights(&self) -> Arc<[f64]> {
+        Arc::clone(&self.weights)
+    }
+
+    /// The process-unique id of this topic's weight vector (shared by
+    /// clones), under which serving engines cache weighted snapshots.
+    pub fn topic_id(&self) -> u64 {
+        self.topic_id
+    }
+
     /// `Γ = Σ_v b(v)`, the targeted universe mass.
     pub fn gamma(&self) -> f64 {
         self.gamma
@@ -152,10 +194,15 @@ impl TargetWeights {
     /// answer it for every topic without resampling (the engine
     /// reweights each RR set by its root's `b(v)`; see
     /// `sns_rrset::snapshot` for the estimator and its caveat on sparse
-    /// groups). Refine further with the `SeedQuery` builders (ranges,
-    /// forced/excluded seeds).
+    /// groups). The query shares this topic's weight `Arc` and carries
+    /// its [`TargetWeights::topic_id`], so repeated queries on one topic
+    /// hit the engine's weighted-snapshot cache instead of re-running
+    /// the weighted gain pass. Refine further with the `SeedQuery`
+    /// builders (ranges, forced/excluded seeds).
     pub fn seed_query(&self, k: usize) -> sns_core::SeedQuery {
-        sns_core::SeedQuery::top_k(k).with_root_weights(self.weights.clone())
+        sns_core::SeedQuery::top_k(k)
+            .with_root_weights(self.shared_weights())
+            .with_topic(self.topic_id)
     }
 }
 

@@ -76,9 +76,38 @@ fn main() {
         );
     }
 
-    // 3. The contract the engine keeps: answers are exactly what direct
-    //    Max-Coverage over the same slice would produce.
+    // 3. Grow while serving: the campaign keeps running, so keep
+    //    extending the pool (same deterministic stream — the grown pool
+    //    is bit-identical to sampling the final size up front). Growth
+    //    seals one new epoch; nothing cached is invalidated, and the
+    //    next full-pool query merges the frozen per-epoch snapshots
+    //    instead of rebuilding from scratch.
+    let mut engine = engine;
+    for _ in 0..2 {
+        engine.extend(&ctx, sizing.rr_sets_main / 2);
+        let refreshed = engine.answer(&SeedQuery::top_k(25)).expect("valid query");
+        println!(
+            "extended to {} sets ({} epochs): top-25 Î = {:.1}",
+            engine.pool().len(),
+            engine.pool().epoch_boundaries().len(),
+            refreshed.influence_estimate
+        );
+    }
+    let stats = engine.stats();
+    println!(
+        "cache: {} hits / {} misses / {} evictions, {} epochs frozen, {} merges, {} KiB cached",
+        stats.snapshot_hits,
+        stats.snapshot_misses,
+        stats.evictions,
+        stats.epochs_frozen,
+        stats.merges,
+        stats.cached_bytes / 1024
+    );
+
+    // 4. The contract the engine keeps: answers are exactly what direct
+    //    Max-Coverage over the same (grown) pool would produce.
     let direct = stop_and_stare::rrset::max_coverage(engine.pool(), 25);
-    assert_eq!(answers[1].seeds, direct.seeds, "engine == direct greedy");
+    let served = engine.answer(&SeedQuery::top_k(25)).expect("valid query");
+    assert_eq!(served.seeds, direct.seeds, "engine == direct greedy");
     println!("\nverified: engine answers are bit-identical to direct max-coverage");
 }

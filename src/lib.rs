@@ -38,6 +38,15 @@
 //! assert_eq!(result.seeds.len(), 10);
 //! println!("estimated influence: {:.1}", result.influence_estimate);
 //! ```
+//!
+//! ## Further reading
+//!
+//! `README.md` has the crate map and quickstart pointers
+//! (`examples/quickstart.rs`, `examples/seed_service.rs`);
+//! `docs/ARCHITECTURE.md` walks the RR pipeline and the epoch/seal
+//! lifecycle behind the serving layer; `docs/DERIVATIONS.md` derives
+//! the stopping rules the solvers implement — all at the repository
+//! root.
 
 pub use sns_baselines as baselines;
 pub use sns_core as core;

@@ -1,7 +1,9 @@
 //! Integration tests for the frozen-pool seed-query engine: the
 //! acceptance contract is bit-identity — every batched answer must equal
 //! the corresponding direct selection over the same pool slice — plus
-//! thread-count invariance of batch answering.
+//! thread-count invariance of batch answering, epoch-merge equivalence
+//! under pool growth, and the cache policy (LRU eviction under a byte
+//! budget, pinned hit/miss/evict counters).
 
 use stop_and_stare::graph::{gen, WeightModel};
 use stop_and_stare::rrset::{max_coverage_range, CoverageView, GreedyScratch, SeedConstraints};
@@ -112,6 +114,107 @@ fn repeated_queries_hit_the_frozen_snapshot_and_stay_stable() {
     let w = TargetWeights::uniform_all(engine.pool().num_nodes());
     engine.answer(&w.seed_query(4)).unwrap();
     assert_eq!(engine.answer(&query).unwrap(), first);
+}
+
+/// Acceptance: after N pool extensions, every answer assembled from
+/// epoch-merged snapshots is bit-identical to direct `max_coverage` on
+/// the full pool state, and no extension invalidates a previously frozen
+/// epoch (old ranges keep answering as pure cache hits).
+#[test]
+fn epoch_merged_answers_survive_repeated_growth() {
+    let g = gen::rmat(800, 4800, gen::RmatParams::GRAPH500, 17)
+        .build(WeightModel::WeightedCascade)
+        .unwrap();
+    let ctx = SamplingContext::new(&g, Model::IndependentCascade).with_seed(23);
+    let mut engine = SeedQueryEngine::sample(&ctx, 1500);
+    let epoch0 = engine.answer(&SeedQuery::top_k(6).over_range(0..1500)).unwrap();
+
+    for step in 1..=3u32 {
+        engine.extend(&ctx, 1500);
+        let len = engine.pool().len() as u32;
+        assert_eq!(len, 1500 * (step + 1));
+        assert_eq!(engine.pool().epoch_boundaries().len(), (step + 1) as usize);
+        // merged full-range answer == direct greedy on the same state
+        let merged = engine.answer(&SeedQuery::top_k(6)).unwrap();
+        let direct = max_coverage_range(engine.pool(), 6, 0..len);
+        assert_eq!(merged.seeds, direct.seeds, "step {step}");
+        assert_eq!(merged.covered, direct.covered as f64);
+        // unaligned range spanning several epochs, also bit-identical
+        let odd = 700..len - 300;
+        let ranged = engine.answer(&SeedQuery::top_k(5).over_range(odd.clone())).unwrap();
+        assert_eq!(ranged.seeds, max_coverage_range(engine.pool(), 5, odd).seeds);
+    }
+    // per-epoch snapshots frozen exactly once each: 3 growth epochs (the
+    // first epoch's snapshot came from the pre-growth direct query)
+    let stats = engine.stats();
+    assert_eq!(stats.epochs_frozen, 3, "{stats:?}");
+    assert_eq!(stats.evictions, 0);
+    // the very first frozen range still serves untouched
+    let again = engine.answer(&SeedQuery::top_k(6).over_range(0..1500)).unwrap();
+    assert_eq!(again, epoch0);
+}
+
+/// The cache policy under a budget too small for two snapshots: every
+/// insertion evicts the other entry, and the counters pin the exact
+/// hit/miss/evict sequence.
+#[test]
+fn tight_budget_evicts_lru_and_counts() {
+    let g = gen::erdos_renyi(400, 2400, 31).build(WeightModel::WeightedCascade).unwrap();
+    let ctx = SamplingContext::new(&g, Model::IndependentCascade).with_seed(31);
+    let pool_snapshot_bytes = {
+        // measure one snapshot to size a budget that fits exactly one
+        let probe = SeedQueryEngine::sample(&ctx, 1200);
+        probe.answer(&SeedQuery::top_k(2).over_range(0..600)).unwrap();
+        probe.stats().cached_bytes
+    };
+    let engine = SeedQueryEngine::sample(&ctx, 1200).with_cache_budget(pool_snapshot_bytes * 3 / 2);
+
+    let a = SeedQuery::top_k(2).over_range(0..600);
+    let b = SeedQuery::top_k(2).over_range(600..1200);
+    let first_a = engine.answer(&a).unwrap(); // miss, insert A
+    let first_b = engine.answer(&b).unwrap(); // miss, insert B, evict A
+    assert_eq!(engine.answer(&a).unwrap(), first_a); // miss again (A evicted), evict B
+    assert_eq!(engine.answer(&a).unwrap(), first_a); // hit
+    assert_eq!(engine.answer(&b).unwrap(), first_b); // miss, evict A
+    let s = engine.stats();
+    assert_eq!((s.snapshot_hits, s.snapshot_misses, s.evictions), (1, 4, 3), "{s:?}");
+    assert!(s.cached_bytes <= s.budget_bytes, "{s:?}");
+}
+
+/// Repeated queries on one topic build the weighted gain snapshot once;
+/// a different topic (same shape, different identity) builds its own.
+#[test]
+fn topic_keyed_weighted_snapshots_are_reused() {
+    let engine = fixture_engine(1);
+    let n = engine.pool().num_nodes();
+    let topic_a = TargetWeights::synthetic_topic(
+        &gen::rmat(1000, 6000, gen::RmatParams::GRAPH500, 13)
+            .build(WeightModel::WeightedCascade)
+            .unwrap(),
+        0.1,
+        1.0,
+        5,
+    )
+    .unwrap();
+    let topic_b = TargetWeights::uniform_all(n);
+
+    let first = engine.answer(&topic_a.seed_query(6)).unwrap();
+    for _ in 0..4 {
+        assert_eq!(engine.answer(&topic_a.seed_query(6)).unwrap(), first);
+    }
+    let s = engine.stats();
+    assert_eq!((s.weighted_hits, s.weighted_misses), (4, 1), "{s:?}");
+    // frozen-topic answers equal the uncached weighted path
+    let uncached =
+        engine.answer(&SeedQuery::top_k(6).with_root_weights(topic_a.weights().to_vec())).unwrap();
+    assert_eq!(first, uncached);
+    let s = engine.stats();
+    assert_eq!((s.weighted_hits, s.weighted_misses), (4, 1), "no-topic queries bypass the cache");
+
+    engine.answer(&topic_b.seed_query(6)).unwrap();
+    engine.answer(&topic_b.seed_query(6)).unwrap();
+    let s = engine.stats();
+    assert_eq!((s.weighted_hits, s.weighted_misses), (5, 2), "{s:?}");
 }
 
 #[test]
