@@ -24,6 +24,7 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::time::{Duration, Instant};
 
+use sns_core::bounds::certificate::StopCondition;
 use sns_core::{CoreError, RunResult, SamplingContext};
 use sns_diffusion::SpreadEstimator;
 use sns_graph::NodeId;
@@ -354,6 +355,8 @@ fn build_result(
         rr_sets_verify: 0,
         iterations,
         hit_cap: timed_out,
+        stopping_rule: None,
+        binding: if timed_out { StopCondition::Cap } else { StopCondition::Schedule },
         wall_time: start.elapsed(),
         peak_pool_bytes: 0,
         total_edges_examined: oracle.simulations_run(),

@@ -24,6 +24,7 @@
 
 use std::time::Instant;
 
+use sns_core::bounds::certificate::StopCondition;
 use sns_core::bounds::{ln_choose, ONE_MINUS_INV_E};
 use sns_core::{CoreError, Params, RunResult, SamplingContext};
 use sns_rrset::{max_coverage_with, GreedyScratch, RrCollection};
@@ -124,6 +125,8 @@ impl Imm {
             rr_sets_verify: 0,
             iterations,
             hit_cap: false,
+            stopping_rule: None,
+            binding: StopCondition::Schedule,
             wall_time: start.elapsed(),
             peak_pool_bytes: peak_bytes,
             total_edges_examined: pool.total_edges_examined(),

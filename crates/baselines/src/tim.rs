@@ -13,6 +13,7 @@
 
 use std::time::Instant;
 
+use sns_core::bounds::certificate::StopCondition;
 use sns_core::bounds::ln_choose;
 use sns_core::{CoreError, Params, RunResult, SamplingContext};
 use sns_rrset::{max_coverage_with, GreedyScratch, RrCollection};
@@ -156,6 +157,8 @@ impl Tim {
             rr_sets_verify: 0,
             iterations,
             hit_cap: false,
+            stopping_rule: None,
+            binding: StopCondition::Schedule,
             wall_time: start.elapsed(),
             peak_pool_bytes: peak_bytes,
             total_edges_examined: pool.total_edges_examined(),

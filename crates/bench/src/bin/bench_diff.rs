@@ -1,16 +1,22 @@
-//! `bench_diff` — warn-only sample-count regression check (CI).
+//! `bench_diff` — sample-count regression check (CI).
 //!
 //! Timing numbers drift with hardware, but the `"counters"` fields of
 //! the `BENCH_*.json` snapshots (algorithm RR-set totals on fixed
-//! fixtures) are deterministic: seeded RNG streams, thread-invariant
-//! pools. This binary recomputes them from scratch
-//! ([`sns_bench::sample_counts::counters`]) and diffs them — and any
-//! counters found in checked-in `BENCH_*.json` snapshots — against the
-//! baseline file `results/bench_baselines/sample_counts.json`. Any
-//! mismatch prints a GitHub-annotation warning; the exit code is always
-//! 0 (the check flags, humans judge). This is the guard that would have
-//! caught the Λ-dropped D-SSA stopping rule (~4× over-sampling at
-//! identical wall-time per sample) mechanically.
+//! fixtures, under both stopping rules) are deterministic: seeded RNG
+//! streams, thread-invariant pools. This binary recomputes them from
+//! scratch ([`sns_bench::sample_counts::counters`]) and diffs them — and
+//! any counters found in checked-in `BENCH_*.json` snapshots — against
+//! the baseline file `results/bench_baselines/sample_counts.json`.
+//!
+//! Any mismatch prints a GitHub-annotation warning, lands in the
+//! workflow's step summary as an expected-vs-realized table
+//! (`$GITHUB_STEP_SUMMARY`), and makes the process **exit nonzero** so
+//! drift is visible in the checks UI. The CI step still runs with
+//! `continue-on-error: true` — drift flags loudly but never blocks a
+//! merge; the right response is a human judgement plus
+//! `bench_diff --write`. This is the guard that would have caught the
+//! Λ-dropped D-SSA stopping rule (~4× over-sampling at identical
+//! wall-time per sample) mechanically.
 //!
 //! ```sh
 //! cargo run --release -p sns-bench --bin bench_diff          # check
@@ -18,6 +24,7 @@
 //! ```
 
 use std::collections::BTreeMap;
+use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
 const BASELINE: &str = "results/bench_baselines/sample_counts.json";
@@ -64,17 +71,53 @@ fn write_baseline(path: &Path, counters: &[(&str, u64)]) {
     println!("wrote {}", path.display());
 }
 
-/// Diffs `got` against `baseline`, printing warn-only annotations.
-/// Returns the number of mismatches.
-fn diff(source: &str, got: &BTreeMap<String, u64>, baseline: &BTreeMap<String, u64>) -> usize {
+/// One row of the expected-vs-realized report.
+struct Row {
+    source: String,
+    name: String,
+    expected: Option<u64>,
+    realized: Option<u64>,
+}
+
+impl Row {
+    fn is_drift(&self) -> bool {
+        self.expected != self.realized
+    }
+
+    fn status(&self) -> String {
+        match (self.expected, self.realized) {
+            (Some(e), Some(r)) if e == r => "ok".into(),
+            (Some(e), Some(r)) => format!("drift ({:.2}x)", r as f64 / e as f64),
+            (None, Some(_)) => "no baseline".into(),
+            (Some(_), None) => "orphaned baseline".into(),
+            (None, None) => unreachable!("a row always has one side"),
+        }
+    }
+}
+
+/// Diffs `got` against `baseline`, printing warn-only annotations and
+/// accumulating report rows. Returns the number of mismatches.
+fn diff(
+    source: &str,
+    got: &BTreeMap<String, u64>,
+    baseline: &BTreeMap<String, u64>,
+    rows: &mut Vec<Row>,
+) -> usize {
     let mut mismatches = 0;
     for (name, &value) in got {
-        match baseline.get(name) {
+        let expected = baseline.get(name).copied();
+        rows.push(Row {
+            source: source.into(),
+            name: name.clone(),
+            expected,
+            realized: Some(value),
+        });
+        match expected {
             None => println!(
                 "::warning::{source}: counter {name} = {value} has no baseline — \
                  rebaseline with `bench_diff --write`"
             ),
-            Some(&want) if want != value => {
+            Some(want) if want != value => {
                 mismatches += 1;
                 let ratio = value as f64 / want as f64;
                 println!(
@@ -87,6 +130,57 @@ fn diff(source: &str, got: &BTreeMap<String, u64>, baseline: &BTreeMap<String, u
         }
     }
     mismatches
+}
+
+/// Renders the expected-vs-realized table into the GitHub step summary
+/// (`$GITHUB_STEP_SUMMARY`), if CI provides one. Drifting rows sort
+/// first so the signal is at the top of the checks UI.
+fn write_step_summary(rows: &[Row], mismatches: usize) {
+    let Ok(path) = std::env::var("GITHUB_STEP_SUMMARY") else { return };
+    let mut md = String::from("## bench_diff — deterministic sample counters\n\n");
+    let unbaselined = rows.iter().filter(|r| r.expected.is_none()).count();
+    if mismatches == 0 && unbaselined == 0 {
+        let _ = writeln!(md, "All {} counters match their baselines.\n", rows.len());
+    } else {
+        if mismatches > 0 {
+            let _ = writeln!(
+                md,
+                "**{mismatches} counter mismatch(es)** — sample-count behavior changed; \
+                 if intended, rebaseline with `bench_diff --write`.\n"
+            );
+        }
+        if unbaselined > 0 {
+            let _ = writeln!(
+                md,
+                "**{unbaselined} counter(s) without a baseline** — record them with \
+                 `bench_diff --write`.\n"
+            );
+        }
+    }
+    md.push_str("| source | counter | expected | realized | status |\n");
+    md.push_str("|---|---|---:|---:|---|\n");
+    let fmt = |v: Option<u64>| v.map_or_else(|| "—".into(), |v| v.to_string());
+    let (drifted, clean): (Vec<_>, Vec<_>) = rows.iter().partition(|r| r.is_drift());
+    for r in drifted.iter().chain(&clean) {
+        let _ = writeln!(
+            md,
+            "| {} | {} | {} | {} | {} |",
+            r.source,
+            r.name,
+            fmt(r.expected),
+            fmt(r.realized),
+            r.status()
+        );
+    }
+    md.push('\n');
+    let appended = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, md.as_bytes()));
+    if let Err(e) = appended {
+        println!("::warning::could not write step summary to {path}: {e}");
+    }
 }
 
 fn main() {
@@ -102,15 +196,22 @@ fn main() {
 
     let Ok(baseline_json) = std::fs::read_to_string(&baseline_path) else {
         println!("::warning::no baseline at {BASELINE} — create one with `bench_diff --write`");
-        return;
+        std::process::exit(1);
     };
     let baseline = parse_counters(&baseline_json);
     let fresh_map: BTreeMap<String, u64> = fresh.iter().map(|&(n, v)| (n.to_string(), v)).collect();
-    let mut mismatches = diff("recomputed", &fresh_map, &baseline);
+    let mut rows = Vec::new();
+    let mut mismatches = diff("recomputed", &fresh_map, &baseline, &mut rows);
     // Orphaned baseline entries matter too: a renamed or deleted counter
     // must not silently shrink what the guard guards.
     for name in baseline.keys().filter(|n| !fresh_map.contains_key(*n)) {
         mismatches += 1;
+        rows.push(Row {
+            source: "recomputed".into(),
+            name: name.clone(),
+            expected: baseline.get(name).copied(),
+            realized: None,
+        });
         println!(
             "::warning::baseline counter {name} is no longer computed — if the fixture was \
              renamed or removed on purpose, rebaseline with `bench_diff --write`"
@@ -129,14 +230,19 @@ fn main() {
             let Ok(json) = std::fs::read_to_string(entry.path()) else { continue };
             let counters = parse_counters(&json);
             if !counters.is_empty() {
-                mismatches += diff(&name, &counters, &baseline);
+                mismatches += diff(&name, &counters, &baseline, &mut rows);
             }
         }
     }
 
+    write_step_summary(&rows, mismatches);
     if mismatches == 0 {
         println!("bench_diff: all sample counters match their baselines");
     } else {
-        println!("bench_diff: {mismatches} counter mismatch(es) — warnings only, not failing CI");
+        println!(
+            "bench_diff: {mismatches} counter mismatch(es) — exiting nonzero (the CI step is \
+             continue-on-error, so this flags in the checks UI without blocking)"
+        );
+        std::process::exit(1);
     }
 }

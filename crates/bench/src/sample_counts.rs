@@ -8,14 +8,18 @@
 //! deterministic (seeded RNG streams, thread-invariant pools), so they
 //! can be diffed exactly against checked-in baselines. [`counters`]
 //! computes the totals on the `tests/paper_claims.rs` regression
-//! fixtures plus the cache hit/miss/evict counters of a fixed
+//! fixtures — under both stopping rules since PR 5, so a drift in either
+//! the historical `Conservative` anchor or the erratum-anchored
+//! `DssaFix` one is caught — plus the cache hit/miss/evict counters of a fixed
 //! grow-while-serving query script ([`serving_counters`] — the same bug
 //! class in serving clothes: a cache that silently stops hitting stays
 //! exactly as *correct* and exactly as slow as no cache). The
 //! `bench_diff` binary compares them (warn-only) in CI, and the
 //! `query_engine` bench embeds them in `BENCH_query_engine.json`.
 
-use sns_core::{Dssa, Params, QueryStats, SamplingContext, SeedQuery, SeedQueryEngine, Ssa};
+use sns_core::{
+    Dssa, Params, QueryStats, SamplingContext, SeedQuery, SeedQueryEngine, Ssa, StoppingRule,
+};
 use sns_diffusion::Model;
 use sns_graph::{gen, WeightModel};
 use sns_tvm::TargetWeights;
@@ -70,9 +74,15 @@ pub fn counters() -> Vec<(&'static str, u64)> {
     let ctx_a = SamplingContext::new(&er, Model::IndependentCascade).with_seed(9);
     let dssa_er = Dssa::new(params_a).run(&ctx_a).unwrap();
     let ssa_er = Ssa::new(params_a).run(&ctx_a).unwrap();
+    // The same fixture under the erratum-anchored rule (PR 5): the
+    // re-anchoring is tracked exactly like the PR-3 fix was. On this
+    // D2-bound instance DssaFix recovers the pre-PR-3 total (19184).
+    let dssa_er_fix =
+        Dssa::new(params_a.with_stopping_rule(StoppingRule::DssaFix)).run(&ctx_a).unwrap();
 
     // Fixture B: the D1-bound instance — RMAT(2000, 12000), LT, k = 10,
-    // ε = 0.3, δ = 0.1. The fix must leave it untouched (1200).
+    // ε = 0.3, δ = 0.1. The fix must leave it untouched (1200) — and so
+    // must the DssaFix rule (coverage, not precision, is binding).
     let rmat = gen::rmat(2000, 12_000, gen::RmatParams::GRAPH500, 7)
         .build(WeightModel::WeightedCascade)
         .unwrap();
@@ -80,11 +90,15 @@ pub fn counters() -> Vec<(&'static str, u64)> {
     let ctx_b = SamplingContext::new(&rmat, Model::LinearThreshold).with_seed(5);
     let dssa_rmat = Dssa::new(params_b).run(&ctx_b).unwrap();
     let ssa_rmat = Ssa::new(params_b).run(&ctx_b).unwrap();
+    let dssa_rmat_fix =
+        Dssa::new(params_b.with_stopping_rule(StoppingRule::DssaFix)).run(&ctx_b).unwrap();
 
     let mut out = vec![
         ("dssa_er_ic_k80_rr_sets_total", dssa_er.rr_sets_total()),
+        ("dssa_er_ic_k80_rr_sets_total_dssafix", dssa_er_fix.rr_sets_total()),
         ("ssa_er_ic_k80_rr_sets_total", ssa_er.rr_sets_total()),
         ("dssa_rmat_lt_k10_rr_sets_total", dssa_rmat.rr_sets_total()),
+        ("dssa_rmat_lt_k10_rr_sets_total_dssafix", dssa_rmat_fix.rr_sets_total()),
         ("ssa_rmat_lt_k10_rr_sets_total", ssa_rmat.rr_sets_total()),
     ];
     out.extend(serving_counters());

@@ -10,6 +10,13 @@
 //! `Υ(ε,δ)/µ` Monte Carlo samples of a `[0,1]` variable with mean `µ`
 //! suffice for an (ε,δ)-approximation (Corollary 1, via the martingale
 //! Chernoff bounds of Lemma 2).
+//!
+//! The [`certificate`] submodule turns these bounds into the runtime
+//! stopping-rule engine shared by SSA and D-SSA — including the
+//! selectable D2 anchor ([`certificate::StoppingRule`]) that settles the
+//! D-SSA-Fix dispute (`docs/DERIVATIONS.md` §4).
+
+pub mod certificate;
 
 /// `1 − 1/e`, the submodular greedy approximation factor.
 pub const ONE_MINUS_INV_E: f64 = 1.0 - 0.36787944117144233; // 1 − e⁻¹

@@ -4,7 +4,8 @@ use std::time::Instant;
 
 use sns_rrset::{max_coverage_with, GreedyScratch, RrCollection};
 
-use crate::bounds::{self, upsilon, ONE_MINUS_INV_E};
+use crate::bounds::certificate::{Certificate, StopCondition, StoppingRule};
+use crate::bounds::{self, upsilon};
 use crate::{CoreError, Params, RunResult, SamplingContext};
 
 /// Dynamic Stop-and-Stare: like [`crate::Ssa`] but with the precision
@@ -14,22 +15,31 @@ use crate::{CoreError, Params, RunResult, SamplingContext};
 ///
 /// At iteration `t` the stream's first `Λ·2^(t−1)` sets (`R_t`) feed
 /// Max-Coverage and the next `Λ·2^(t−1)` sets (`R^c_t`) verify the
-/// candidate:
+/// candidate. Both stopping checks are evaluated by the run's
+/// [`Certificate`] (`bounds::certificate` — one audited code path shared
+/// with SSA):
 ///
 /// * **D1** `Cov_{R^c_t}(Ŝ_k) ≥ Λ₁` — the verify half carries enough
 ///   coverage for an (ε, δ/3tmax)-estimate of `I(Ŝ_k)` (stopping-rule
 ///   condition of Dagum et al.);
 /// * **D2** `ε_t = (ε₁ + ε₂ + ε₁ε₂)(1 − 1/e − ε) + (1 − 1/e)ε₃ ≤ ε` with
-///   `ε₁ = Î_t/Î^c_t − 1`,
-///   `ε₂ = ε·√(Γ(1+ε)/(Λ·2^(t−1)·Î^c_t))`,
-///   `ε₃ = ε·√(Γ(1+ε)(1−1/e−ε)/((1+ε/3)·Λ·2^(t−1)·Î^c_t))`.
+///   `ε₁ = max(0, Î_t/Î^c_t − 1)` and ε₂/ε₃ depending on the selected
+///   [`StoppingRule`] (`Params::rule`):
+///   - [`StoppingRule::Conservative`] (default): the closed forms
+///     `ε₂ = ε·√(Γ(1+ε)/(Λ·2^(t−1)·Î^c_t))`,
+///     `ε₃ = ε·√(Γ(1+ε)(1−1/e−ε)/((1+ε/3)·Λ·2^(t−1)·Î^c_t))` — the
+///     find-half size in the denominator, i.e. the repository's
+///     historical (PR-3) rule, kept bit-exact;
+///   - [`StoppingRule::DssaFix`]: ε₂ solved numerically from the
+///     stopping-rule count `Cov_{R^c_t} ≥ (1+ε₂)·Υ(ε₂, δ/3tmax)` with
+///     the analogous gap-adjusted ε₃ — the erratum-corrected anchor,
+///     which demands strictly more evidence (never stops earlier than
+///     the conservative rule; `docs/DERIVATIONS.md` §4 settles the
+///     dispute and quantifies the gap at √Λ).
 ///
-/// The `Λ·2^(t−1)` factor in the ε₂/ε₃ denominators is the *find-half
-/// size* `|R_t|` — Algorithm 4 divides by the number of samples backing
-/// `Î^c_t`, not by the bare doubling count. (An earlier revision of this
-/// module dropped the Λ, inflating ε₂/ε₃ by √Λ ≈ 10–13× and costing
-/// every run several needless pool doublings — roughly 4–16× the
-/// type-2-minimal sample count — before D2 could fire.)
+/// The final pool extension is clamped at `⌈Nmax⌉` — the doubling
+/// schedule is not allowed to overshoot the nominal cap by up to 2× as
+/// an earlier revision did.
 ///
 /// D-SSA achieves the **type-2 minimum threshold** — the fewest samples
 /// any RIS-framework algorithm can use — within a constant factor
@@ -47,17 +57,21 @@ pub struct Dssa {
 pub struct DssaIteration {
     /// Iteration index `t` (1-based).
     pub t: u32,
-    /// Pool size `|R_t| + |R^c_t| = Λ·2^t` at this checkpoint.
+    /// Pool size `|R_t| + |R^c_t| = Λ·2^t` at this checkpoint (clamped
+    /// at `⌈Nmax⌉` on a cap-hitting final iteration).
     pub pool_size: u64,
     /// Influence estimate from the find half.
     pub influence_find: f64,
     /// Influence estimate from the verify half (`None` while condition
     /// D1 — enough verify coverage — has not fired yet).
     pub influence_verify: Option<f64>,
-    /// Dynamic `(ε₁, ε₂, ε₃)` (only once D1 holds).
+    /// Dynamic `(ε₁, ε₂, ε₃)` (only once D1 holds). ε₁ is clamped at 0;
+    /// ε₂/ε₃ follow [`DssaIteration::rule`].
     pub epsilons: Option<(f64, f64, f64)>,
     /// The realized `ε_t` checked against ε (only once D1 holds).
     pub eps_t: Option<f64>,
+    /// The stopping rule this checkpoint was evaluated under.
+    pub rule: StoppingRule,
 }
 
 impl Dssa {
@@ -100,14 +114,19 @@ impl Dssa {
         let eps = self.params.epsilon;
         let delta = self.params.delta;
         let gamma = ctx.gamma();
-        let approx_gap = ONE_MINUS_INV_E - eps; // 1 − 1/e − ε > 0 (validated)
 
         let n_max = bounds::nmax(n, k as u64, eps, delta, ctx.cap_ratio(k));
         let t_max = bounds::max_iterations(n_max, eps, delta);
         let delta_iter = delta / (3.0 * f64::from(t_max));
         let lambda = upsilon(eps, delta_iter).ceil().max(1.0) as u64;
-        // Λ₁ = 1 + (1+ε)·Υ(ε, δ/3tmax): the stopping-rule success count.
-        let lambda1 = 1.0 + (1.0 + eps) * upsilon(eps, delta_iter);
+        // D1's Λ₁ threshold and D2's rule-dependent ε-split: one audited
+        // code path shared with SSA.
+        let cert = Certificate::dssa(self.params.rule, eps, delta_iter, gamma);
+        // The last extension must not overshoot the nominal cap: the
+        // schedule is clamped at ⌈Nmax⌉ sets (kept even so the find and
+        // verify halves stay equal-sized). `as` saturates for the huge
+        // Nmax of large instances, where the clamp never binds.
+        let cap_sets = (n_max.ceil() as u64).max(2) & !1;
 
         let mut pool = RrCollection::new(ctx.graph().num_nodes());
         let mut sampler = ctx.sampler(0);
@@ -116,12 +135,15 @@ impl Dssa {
         let mut cover_scratch = GreedyScratch::new();
         let mut scratch = Vec::new();
         let mut peak_bytes = 0u64;
+        let mut coverage_first_met = None;
         let mut last = None;
 
         for t in 1..=t_max {
-            let half =
-                lambda.checked_shl(t - 1).expect("pool target overflow: Nmax bounds preclude this");
-            let full = 2 * half;
+            let scheduled = 2 * lambda
+                .checked_shl(t - 1)
+                .expect("pool target overflow: Nmax bounds preclude this");
+            let full = scheduled.min(cap_sets);
+            let half = full / 2;
             let have = pool.len() as u64;
             if full > have {
                 if ctx.threads() > 1 {
@@ -146,31 +168,35 @@ impl Dssa {
                 influence_verify: None,
                 epsilons: None,
                 eps_t: None,
+                rule: cert.rule(),
             };
-            if cov_c as f64 >= lambda1 {
-                // Condition D1 met: derive the dynamic ε-split.
-                let i_c = gamma * cov_c as f64 / half as f64;
-                // |R_t| = Λ·2^(t−1) = `half`: the sample count behind Î^c.
-                let find_size = half as f64;
-                let e1 = i_t / i_c - 1.0;
-                let e2 = eps * (gamma * (1.0 + eps) / (find_size * i_c)).sqrt();
-                let e3 = eps
-                    * (gamma * (1.0 + eps) * approx_gap / ((1.0 + eps / 3.0) * find_size * i_c))
-                        .sqrt();
-                let eps_t = (e1 + e2 + e1 * e2) * approx_gap + ONE_MINUS_INV_E * e3;
-                record.influence_verify = Some(i_c);
-                record.epsilons = Some((e1, e2, e3));
-                record.eps_t = Some(eps_t);
-                // Condition D2.
-                if eps_t <= eps {
-                    stop = true;
-                }
+            if cert.coverage_met(cov_c) {
+                // Condition D1 met: derive the dynamic ε-split under the
+                // selected rule and check condition D2.
+                coverage_first_met.get_or_insert(t);
+                let check = cert.dssa_precision(i_t, cov_c, half);
+                record.influence_verify = Some(check.i_verify);
+                record.epsilons = Some((check.e1, check.e2, check.e3));
+                record.eps_t = Some(check.eps_t);
+                stop = check.satisfied;
             }
             if let Some(sink) = trace.as_deref_mut() {
                 sink.push(record);
             }
 
-            let hit_cap = full as f64 >= n_max;
+            // Capped once the pool reaches the clamp bound (it can never
+            // grow past `cap_sets`, so `full == cap_sets` means every
+            // later iteration would rescan an unchanged pool) or Nmax.
+            let hit_cap = full >= cap_sets || full as f64 >= n_max;
+            let binding = if stop {
+                if coverage_first_met == Some(t) {
+                    StopCondition::Coverage
+                } else {
+                    StopCondition::Precision
+                }
+            } else {
+                StopCondition::Cap
+            };
             last = Some(RunResult {
                 seeds: cover.seeds,
                 influence_estimate: i_t,
@@ -178,6 +204,8 @@ impl Dssa {
                 rr_sets_verify: 0, // the verify half is recycled, not extra
                 iterations: t,
                 hit_cap: hit_cap && !stop,
+                stopping_rule: Some(cert.rule()),
+                binding,
                 wall_time: start.elapsed(),
                 peak_pool_bytes: peak_bytes,
                 total_edges_examined: pool.total_edges_examined(),
@@ -194,6 +222,7 @@ impl Dssa {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bounds::ONE_MINUS_INV_E;
     use sns_diffusion::Model;
     use sns_graph::{gen, Graph, GraphBuilder, WeightModel};
 

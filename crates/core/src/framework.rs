@@ -11,6 +11,7 @@ use std::time::Instant;
 
 use sns_rrset::{max_coverage, RrCollection};
 
+use crate::bounds::certificate::StopCondition;
 use crate::{RunResult, SamplingContext};
 
 pub use crate::bounds::PriorThresholds as RisThresholds;
@@ -36,6 +37,8 @@ pub fn ris_fixed_pool(ctx: &SamplingContext<'_>, k: usize, num_sets: u64) -> Run
         rr_sets_verify: 0,
         iterations: 1,
         hit_cap: false,
+        stopping_rule: None,
+        binding: StopCondition::Schedule,
         wall_time: start.elapsed(),
         peak_pool_bytes: pool.memory_bytes(),
         total_edges_examined: pool.total_edges_examined(),

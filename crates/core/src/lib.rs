@@ -17,7 +17,11 @@
 //!   observed estimates. Meets the stronger **type-2 minimum threshold**.
 //! * [`bounds`] — the unified RIS framework of §3: the `Υ(ε,δ)` sample
 //!   bound, the RIS thresholds of TIM/IMM (Eqs. 12–15), the sample cap
-//!   `Nmax`, and the concentration inequalities behind them.
+//!   `Nmax`, and the concentration inequalities behind them. Its
+//!   [`bounds::certificate`] submodule is the runtime stopping-rule
+//!   engine both algorithms consult — including the selectable
+//!   [`StoppingRule`] (`Conservative` vs the erratum-anchored `DssaFix`)
+//!   that settles the D2 dispute of `docs/DERIVATIONS.md` §4.
 //! * [`SamplingContext`] — bundles graph, diffusion model, root
 //!   distribution and seeding. With uniform roots the algorithms solve
 //!   classic IM; with weighted roots (WRIS) they solve targeted viral
@@ -66,6 +70,7 @@ mod params;
 mod result;
 mod ssa;
 
+pub use bounds::certificate::{Certificate, PrecisionCheck, StopCondition, StoppingRule};
 pub use context::SamplingContext;
 pub use dssa::{Dssa, DssaIteration};
 pub use engine::{QueryStats, SeedAnswer, SeedQuery, SeedQueryEngine};

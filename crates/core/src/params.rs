@@ -1,6 +1,7 @@
-//! Algorithm parameters: the `(k, ε, δ)` triple and SSA's precision
-//! split `(ε₁, ε₂, ε₃)`.
+//! Algorithm parameters: the `(k, ε, δ)` triple, the stopping-rule
+//! selection, and SSA's precision split `(ε₁, ε₂, ε₃)`.
 
+use crate::bounds::certificate::StoppingRule;
 use crate::bounds::ONE_MINUS_INV_E;
 use crate::CoreError;
 
@@ -17,10 +18,18 @@ pub struct Params {
     /// Failure probability `δ ∈ (0, 1)`. The paper's experiments use
     /// `δ = 1/n`.
     pub delta: f64,
+    /// Which reading of the D2 precision anchor the stopping engine
+    /// certifies against (`docs/DERIVATIONS.md` §4). Defaults to
+    /// [`StoppingRule::Conservative`], the repository's historical rule;
+    /// select [`StoppingRule::DssaFix`] via
+    /// [`Params::with_stopping_rule`] for the erratum-corrected
+    /// constants. Fixed-schedule baselines (IMM/TIM) ignore it.
+    pub rule: StoppingRule,
 }
 
 impl Params {
-    /// Validates and constructs a parameter triple.
+    /// Validates and constructs a parameter triple (with the default
+    /// [`StoppingRule::Conservative`]).
     pub fn new(k: usize, epsilon: f64, delta: f64) -> Result<Self, CoreError> {
         if k == 0 {
             return Err(CoreError::InvalidParams("k must be >= 1".into()));
@@ -33,12 +42,19 @@ impl Params {
         if !(delta > 0.0 && delta < 1.0) {
             return Err(CoreError::InvalidParams(format!("delta must be in (0, 1), got {delta}")));
         }
-        Ok(Params { k, epsilon, delta })
+        Ok(Params { k, epsilon, delta, rule: StoppingRule::default() })
     }
 
     /// The paper's default `δ = 1/n` for a graph with `n` nodes (§7.1).
     pub fn with_paper_delta(k: usize, epsilon: f64, n: u64) -> Result<Self, CoreError> {
         Self::new(k, epsilon, 1.0 / n.max(2) as f64)
+    }
+
+    /// Selects the stopping rule the run's [`crate::bounds::certificate::Certificate`]
+    /// evaluates under.
+    pub fn with_stopping_rule(mut self, rule: StoppingRule) -> Self {
+        self.rule = rule;
+        self
     }
 }
 

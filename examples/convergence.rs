@@ -1,36 +1,31 @@
 //! D-SSA convergence trajectory: watch the dynamic ε-split tighten until
-//! the stopping condition fires — §6 of the paper, made visible.
+//! the stopping condition fires — §6 of the paper, made visible — under
+//! *both* readings of the D2 anchor (`docs/DERIVATIONS.md` §4).
 //!
 //! Each doubling checkpoint prints the find/verify influence estimates,
 //! the data-derived (ε₁, ε₂, ε₃), and the realized ε_t that condition D2
 //! compares against the target ε. The run stops at the first checkpoint
-//! where ε_t ≤ ε — *that* is the "stare" of stop-and-stare.
+//! where ε_t ≤ ε — *that* is the "stare" of stop-and-stare. The same
+//! stream is then replayed under the `DssaFix` rule, whose numerically
+//! certified ε₂ is larger at equal evidence (by up to √Λ at the D1
+//! anchor), so it typically pays one or two extra doublings before D2
+//! fires.
 //!
 //! ```sh
 //! cargo run --release --example convergence
 //! ```
 
 use stop_and_stare::graph::{gen, GraphStats, WeightModel};
-use stop_and_stare::{Dssa, Model, Params, SamplingContext};
+use stop_and_stare::{
+    Dssa, DssaIteration, Model, Params, RunResult, SamplingContext, StoppingRule,
+};
 
-fn main() {
-    let graph = gen::rmat(20_000, 160_000, gen::RmatParams::GRAPH500, 13)
-        .build(WeightModel::WeightedCascade)
-        .expect("generator parameters are valid");
-    println!("network: {}\n", GraphStats::compute(&graph));
-
-    let epsilon = 0.1;
-    let params = Params::with_paper_delta(100, epsilon, graph.num_nodes() as u64)
-        .expect("parameters are in range");
-    let ctx = SamplingContext::new(&graph, Model::LinearThreshold).with_seed(21);
-
-    let (result, trace) = Dssa::new(params).run_traced(&ctx).expect("run succeeds");
-
+fn print_trajectory(epsilon: f64, result: &RunResult, trace: &[DssaIteration]) {
     println!(
         "{:>3} {:>12} {:>10} {:>10} {:>9} {:>9} {:>9} {:>9}  D2?",
         "t", "pool", "Î(find)", "Î(verify)", "eps1", "eps2", "eps3", "eps_t"
     );
-    for it in &trace {
+    for it in trace {
         match (it.influence_verify, it.epsilons, it.eps_t) {
             (Some(ic), Some((e1, e2, e3)), Some(et)) => println!(
                 "{:>3} {:>12} {:>10.0} {:>10.0} {:>9.4} {:>9.4} {:>9.4} {:>9.4}  {}",
@@ -50,15 +45,45 @@ fn main() {
             ),
         }
     }
-
     println!(
-        "\nstopped after {} iterations with {} RR sets; Î = {:.0}, ε target {epsilon}",
+        "stopped after {} iterations with {} RR sets; Î = {:.0} (binding: {:?})\n",
         result.iterations,
         result.rr_sets_total(),
-        result.influence_estimate
+        result.influence_estimate,
+        result.binding,
+    );
+}
+
+fn main() {
+    let graph = gen::rmat(20_000, 160_000, gen::RmatParams::GRAPH500, 13)
+        .build(WeightModel::WeightedCascade)
+        .expect("generator parameters are valid");
+    println!("network: {}\n", GraphStats::compute(&graph));
+
+    let epsilon = 0.1;
+    let params = Params::with_paper_delta(1000, epsilon, graph.num_nodes() as u64)
+        .expect("parameters are in range");
+    let ctx = SamplingContext::new(&graph, Model::LinearThreshold).with_seed(21);
+
+    let mut totals = Vec::new();
+    for rule in [StoppingRule::Conservative, StoppingRule::DssaFix] {
+        println!("── stopping rule: {rule} ──");
+        let (result, trace) =
+            Dssa::new(params.with_stopping_rule(rule)).run_traced(&ctx).expect("run succeeds");
+        print_trajectory(epsilon, &result, &trace);
+        totals.push((rule, result.rr_sets_total(), result.influence_estimate));
+    }
+
+    let (_, cons_total, cons_inf) = totals[0];
+    let (_, fix_total, fix_inf) = totals[1];
+    println!(
+        "same stream, two anchors: conservative stopped at {cons_total} sets (Î = {cons_inf:.0}), \
+         dssa-fix at {fix_total} sets (Î = {fix_inf:.0}) — {:.1}x more evidence demanded",
+        fix_total as f64 / cons_total as f64
     );
     println!(
-        "note how ε₂/ε₃ shrink as the pool doubles while ε₁ hovers near 0 — the algorithm \
-         spends samples exactly until the combined ε_t crosses the target, never further."
+        "note how ε₂/ε₃ shrink as the pool doubles while ε₁ hovers near 0 — and how the \
+         dssa-fix ε₂ starts near ε itself (what the coverage actually certifies) while the \
+         conservative closed form starts √Λ below it (docs/DERIVATIONS.md §4)."
     );
 }

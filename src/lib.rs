@@ -56,8 +56,8 @@ pub use sns_rrset as rrset;
 pub use sns_tvm as tvm;
 
 pub use sns_core::{
-    Dssa, Params, RunResult, SamplingContext, SeedAnswer, SeedQuery, SeedQueryEngine, Ssa,
-    SsaEpsilons,
+    Certificate, Dssa, DssaIteration, Params, RunResult, SamplingContext, SeedAnswer, SeedQuery,
+    SeedQueryEngine, Ssa, SsaEpsilons, StopCondition, StoppingRule,
 };
 pub use sns_diffusion::{Model, SpreadEstimator};
 pub use sns_graph::{Graph, GraphBuilder, WeightModel};

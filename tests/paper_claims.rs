@@ -5,7 +5,10 @@
 use stop_and_stare::baselines::{Imm, Tim};
 use stop_and_stare::core::bounds;
 use stop_and_stare::graph::{gen, WeightModel};
-use stop_and_stare::{Dssa, Graph, Model, Params, SamplingContext, SpreadEstimator, Ssa};
+use stop_and_stare::{
+    Dssa, Graph, GraphBuilder, Model, Params, SamplingContext, SpreadEstimator, Ssa, StopCondition,
+    StoppingRule,
+};
 
 fn social_graph(seed: u64) -> Graph {
     gen::rmat(3000, 18_000, gen::RmatParams::GRAPH500, seed)
@@ -217,4 +220,276 @@ fn guarantee_holds_empirically() {
     // δ = 0.2 ⇒ expect ≤ 8 failures; in practice the only node with
     // influence > 1 is the hub, so failures should be ~0
     assert!(failures <= runs / 5, "{failures}/{runs} guarantee violations");
+}
+
+// ---------------------------------------------------------------------------
+// PR 5: the selectable stopping-rule engine (docs/DERIVATIONS.md §4).
+// ---------------------------------------------------------------------------
+
+/// The D2-bound regression fixture of PR 3: ER(400, 2400), IC, k = 80,
+/// ε = 0.1, δ = 0.1, stream seed 9.
+fn er_fixture() -> (Graph, Params, u64) {
+    let g = gen::erdos_renyi(400, 2400, 3).build(WeightModel::WeightedCascade).unwrap();
+    (g, Params::new(80, 0.1, 0.1).unwrap(), 9)
+}
+
+/// The D1-bound regression fixture of PR 3: RMAT(2000, 12 000), LT,
+/// k = 10, ε = 0.3, δ = 0.1, stream seed 5.
+fn rmat_fixture() -> (Graph, Params, u64) {
+    let g = gen::rmat(2000, 12_000, gen::RmatParams::GRAPH500, 7)
+        .build(WeightModel::WeightedCascade)
+        .unwrap();
+    (g, Params::new(10, 0.3, 0.1).unwrap(), 5)
+}
+
+/// Pinned dual-mode sample counts (mirrored by `bench_diff`'s baseline
+/// `results/bench_baselines/sample_counts.json`):
+///
+/// * `Conservative` must reproduce the repository's historical counts
+///   bit-exactly — the certificate refactor is a pure reorganization for
+///   that mode;
+/// * `DssaFix` on the D2-bound ER fixture recovers *exactly* the
+///   pre-PR-3 constants (19 184 sets, Î = 265.3): the numerically solved
+///   stopping-rule anchor reproduces the Λ-cancelled closed form, which
+///   is the settlement of DERIVATIONS §4 in one number;
+/// * on the D1-bound RMAT fixture the two rules coincide (coverage, not
+///   precision, is binding there).
+#[test]
+fn stopping_rule_engine_dual_mode_pinned_counts() {
+    let (g, params, seed) = er_fixture();
+    let ctx = SamplingContext::new(&g, Model::IndependentCascade).with_seed(seed);
+    let cons = Dssa::new(params).run(&ctx).unwrap();
+    assert_eq!(cons.rr_sets_total(), 4_796, "conservative ER count must stay bit-exact");
+    assert_eq!(cons.iterations, 2);
+    assert_eq!(cons.stopping_rule, Some(StoppingRule::Conservative));
+    assert_eq!(cons.binding, StopCondition::Coverage, "D1 fires at the stopping iteration");
+
+    let fix = Dssa::new(params.with_stopping_rule(StoppingRule::DssaFix)).run(&ctx).unwrap();
+    assert_eq!(fix.rr_sets_total(), 19_184, "DssaFix ER count (== the pre-PR-3 total)");
+    assert_eq!(fix.iterations, 4);
+    assert_eq!(fix.stopping_rule, Some(StoppingRule::DssaFix));
+    assert_eq!(fix.binding, StopCondition::Precision, "D2 lags D1 by two doublings");
+    const PRE_FIX_ER_INFLUENCE: f64 = 265.3;
+    assert!(
+        (fix.influence_estimate - PRE_FIX_ER_INFLUENCE).abs() < 0.1,
+        "DssaFix must recover the pre-PR-3 influence estimate: {}",
+        fix.influence_estimate
+    );
+
+    let (g, params, seed) = rmat_fixture();
+    let ctx = SamplingContext::new(&g, Model::LinearThreshold).with_seed(seed);
+    let cons = Dssa::new(params).run(&ctx).unwrap();
+    let fix = Dssa::new(params.with_stopping_rule(StoppingRule::DssaFix)).run(&ctx).unwrap();
+    assert_eq!(cons.rr_sets_total(), 1_200, "conservative RMAT count must stay bit-exact");
+    assert_eq!(fix.rr_sets_total(), 1_200, "D1-bound: the rules coincide");
+    assert_eq!(cons.seeds, fix.seeds);
+    assert_eq!(cons.binding, StopCondition::Coverage);
+    assert_eq!(fix.binding, StopCondition::Coverage);
+}
+
+/// Property (the §4 settlement, direction included): on the same sample
+/// stream the `DssaFix` anchor demands strictly more evidence than the
+/// conservative closed forms — per checkpoint its certified ε₂ is never
+/// smaller, so it can never stop *earlier*. Wherever both rules stop at
+/// the same iteration they have seen identical pools and must select
+/// identical seeds.
+///
+/// (ROADMAP's open item conjectured the opposite ordering — that the
+/// stopping-rule-count reading was the optimistic one. The engine
+/// settles it mechanically: conservative ≤ DssaFix on samples, always.)
+#[test]
+fn dssafix_never_stops_before_conservative() {
+    let cases: &[(u64, Model, usize, f64)] = &[
+        (1, Model::IndependentCascade, 10, 0.2),
+        (2, Model::LinearThreshold, 25, 0.25),
+        (3, Model::IndependentCascade, 80, 0.1),
+        (4, Model::LinearThreshold, 5, 0.3),
+        (5, Model::IndependentCascade, 40, 0.15),
+    ];
+    for &(seed, model, k, eps) in cases {
+        let g = gen::erdos_renyi(400, 2400, seed).build(WeightModel::WeightedCascade).unwrap();
+        let params = Params::new(k, eps, 0.1).unwrap();
+        let ctx = SamplingContext::new(&g, model).with_seed(seed + 7);
+        let (cons, cons_trace) = Dssa::new(params).run_traced(&ctx).unwrap();
+        let (fix, fix_trace) =
+            Dssa::new(params.with_stopping_rule(StoppingRule::DssaFix)).run_traced(&ctx).unwrap();
+        assert!(
+            cons.rr_sets_total() <= fix.rr_sets_total(),
+            "seed {seed} {model}: conservative {} > DssaFix {}",
+            cons.rr_sets_total(),
+            fix.rr_sets_total()
+        );
+        if cons.iterations == fix.iterations {
+            assert_eq!(cons.seeds, fix.seeds, "same stream + same stop ⇒ same seeds");
+            assert_eq!(cons.rr_sets_total(), fix.rr_sets_total());
+        }
+        // Per-checkpoint: identical evidence (same stream), ε₂ᶠ ≥ ε₂ᶜ.
+        for (c, f) in cons_trace.iter().zip(&fix_trace) {
+            assert_eq!(c.pool_size, f.pool_size);
+            assert_eq!(c.influence_find, f.influence_find);
+            if let (Some((_, e2c, _)), Some((_, e2f, _))) = (c.epsilons, f.epsilons) {
+                assert!(
+                    e2f >= e2c,
+                    "seed {seed} t={}: DssaFix certified a tighter ε₂ ({e2f}) than the \
+                     conservative claim ({e2c})",
+                    c.t
+                );
+            }
+        }
+    }
+}
+
+/// Satellite regression: `ε₁ = Î/Î^c − 1` is clamped at 0. Pinned flip
+/// fixture — ER(300, 1800, graph seed 4), LT, k = 5, ε = 0.07, stream
+/// seed 44 under `DssaFix`: at t = 2 the verify half over-estimates
+/// (raw ε₁ ≈ −0.0055) and the *unclamped* composition would fire D2
+/// (`ε_t ≈ 0.0675 ≤ ε`), while the clamped one correctly refuses
+/// (`ε_t ≈ 0.0708 > ε`) and the run pays one more doubling.
+#[test]
+fn negative_eps1_clamp_changes_the_stopping_iteration() {
+    let one_minus_inv_e = 1.0 - 1.0 / std::f64::consts::E;
+    let eps = 0.07;
+    let g = gen::erdos_renyi(300, 1800, 4).build(WeightModel::WeightedCascade).unwrap();
+    let params = Params::new(5, eps, 0.1).unwrap().with_stopping_rule(StoppingRule::DssaFix);
+    let ctx = SamplingContext::new(&g, Model::LinearThreshold).with_seed(44);
+    let (r, trace) = Dssa::new(params).run_traced(&ctx).unwrap();
+
+    let t2 = &trace[1];
+    assert_eq!(t2.t, 2);
+    let i_c = t2.influence_verify.expect("D1 holds at t = 2 on this fixture");
+    let raw_e1 = t2.influence_find / i_c - 1.0;
+    assert!(raw_e1 < 0.0, "fixture must over-estimate on the verify half, got ε₁ = {raw_e1}");
+    let (e1, e2, e3) = t2.epsilons.unwrap();
+    assert_eq!(e1, 0.0, "negative disagreement must clamp to 0");
+    let gap = one_minus_inv_e - eps;
+    let raw_eps_t = (raw_e1 + e2 + raw_e1 * e2) * gap + one_minus_inv_e * e3;
+    let clamped_eps_t = t2.eps_t.unwrap();
+    assert!(
+        raw_eps_t <= eps && clamped_eps_t > eps,
+        "the clamp must flip D2 here: raw {raw_eps_t}, clamped {clamped_eps_t}"
+    );
+    assert_eq!(r.iterations, 3, "unclamped would have stopped at t = 2");
+    assert_eq!(r.rr_sets_total(), 19_672);
+
+    // And the invariant behind the clamp: no recorded ε₁ is ever negative,
+    // under either rule, on the pinned regression fixtures.
+    let (g, params, seed) = er_fixture();
+    let ctx = SamplingContext::new(&g, Model::IndependentCascade).with_seed(seed);
+    for rule in [StoppingRule::Conservative, StoppingRule::DssaFix] {
+        let (_, trace) = Dssa::new(params.with_stopping_rule(rule)).run_traced(&ctx).unwrap();
+        for it in &trace {
+            if let Some((e1, ..)) = it.epsilons {
+                assert!(e1 >= 0.0, "{rule} t={}: negative ε₁ escaped the clamp", it.t);
+            }
+        }
+    }
+}
+
+/// Under the conservative rule the clamp can *never* move a stop: once
+/// D1 holds, the ε₁ = 0 floor of the composition is already below ε
+/// (ε₂ ≤ ε·√((1+ε)/Λ₁) ≪ ε, likewise ε₃), so zeroing a negative ε₁
+/// still stops. Checked on every D1-passing checkpoint the regression
+/// fixtures produce.
+#[test]
+fn conservative_zero_eps1_floor_always_stops() {
+    let one_minus_inv_e = 1.0 - 1.0 / std::f64::consts::E;
+    for (g, params, seed, model) in [
+        (er_fixture().0, er_fixture().1, er_fixture().2, Model::IndependentCascade),
+        (rmat_fixture().0, rmat_fixture().1, rmat_fixture().2, Model::LinearThreshold),
+    ] {
+        let ctx = SamplingContext::new(&g, model).with_seed(seed);
+        let (_, trace) = Dssa::new(params).run_traced(&ctx).unwrap();
+        let gap = one_minus_inv_e - params.epsilon;
+        for it in &trace {
+            let Some((_, e2, e3)) = it.epsilons else { continue };
+            let floor = e2 * gap + one_minus_inv_e * e3;
+            assert!(
+                floor <= params.epsilon,
+                "t={}: conservative ε₁=0 floor {floor} exceeds ε — the clamp could bind",
+                it.t
+            );
+        }
+    }
+}
+
+/// Satellite regression: the final doubling must not overshoot `Nmax`.
+/// On this cap-hitting fixture (uniform singleton RR sets, so D1 needs
+/// ≈ n·Λ₁ sets — more than the cap allows) the pre-fix schedule would
+/// have extended to `Λ·2^t ≈ 2×` past the cap; the clamp pins the pool
+/// to at most `⌈Nmax⌉` for both rules, and for SSA too.
+#[test]
+fn cap_clamps_the_final_extension() {
+    let mut b = GraphBuilder::new();
+    b.set_num_nodes(30);
+    b.add_edge(0, 1, 0.0); // dead edge: every RR set is a uniform singleton
+    let g = b.build(WeightModel::Provided).unwrap();
+    let params = Params::new(1, 0.5, 0.5).unwrap();
+    let ctx = SamplingContext::new(&g, Model::IndependentCascade).with_seed(7);
+    let n_max = bounds::nmax(30, 1, 0.5, 0.5, ctx.cap_ratio(1));
+    let cap = n_max.ceil() as u64;
+
+    for rule in [StoppingRule::Conservative, StoppingRule::DssaFix] {
+        let r = Dssa::new(params.with_stopping_rule(rule)).run(&ctx).unwrap();
+        assert!(
+            r.rr_sets_total() <= cap,
+            "{rule}: pool {} overshot ⌈Nmax⌉ = {cap}",
+            r.rr_sets_total()
+        );
+        assert!(r.hit_cap, "{rule}: this fixture must terminate at the cap");
+        assert_eq!(r.binding, StopCondition::Cap);
+        // The clamp actually bound: the schedule wanted ≥ 2× more.
+        let t_max = bounds::max_iterations(n_max, 0.5, 0.5);
+        let delta_iter = 0.5 / (3.0 * f64::from(t_max));
+        let lambda = bounds::upsilon(0.5, delta_iter).ceil().max(1.0) as u64;
+        let scheduled = 2 * (lambda << (r.iterations - 1));
+        assert!(
+            scheduled > cap,
+            "{rule}: schedule {scheduled} never exceeded the cap {cap} — fixture too weak"
+        );
+    }
+
+    let s = Ssa::new(params).run(&ctx).unwrap();
+    assert!(s.rr_sets_main <= cap, "SSA pool {} overshot ⌈Nmax⌉ = {cap}", s.rr_sets_main);
+    assert!(s.hit_cap);
+    assert_eq!(s.binding, StopCondition::Cap);
+}
+
+/// Satellite regression: bit-identity across worker-thread counts for
+/// *both* stopping rules (per-index RNG streams make pool growth
+/// parallelism-invariant; the certificate must not break that).
+#[test]
+fn thread_bit_identity_for_both_rules() {
+    let g = gen::erdos_renyi(400, 2400, 3).build(WeightModel::WeightedCascade).unwrap();
+    for rule in [StoppingRule::Conservative, StoppingRule::DssaFix] {
+        let params = Params::new(5, 0.3, 0.1).unwrap().with_stopping_rule(rule);
+        let r1 = Dssa::new(params)
+            .run(&SamplingContext::new(&g, Model::LinearThreshold).with_seed(9).with_threads(1))
+            .unwrap();
+        let r4 = Dssa::new(params)
+            .run(&SamplingContext::new(&g, Model::LinearThreshold).with_seed(9).with_threads(4))
+            .unwrap();
+        assert_eq!(r1.seeds, r4.seeds, "{rule}: seeds diverged across thread counts");
+        assert_eq!(r1.rr_sets_main, r4.rr_sets_main, "{rule}: sample counts diverged");
+        assert_eq!(r1.influence_estimate, r4.influence_estimate);
+        assert_eq!(r1.binding, r4.binding);
+    }
+}
+
+/// SSA's ε-split is chosen up front, so the rule selection is recorded
+/// but cannot change its behavior: both readings must produce identical
+/// runs.
+#[test]
+fn ssa_is_stopping_rule_invariant() {
+    let (g, params, seed) = rmat_fixture();
+    let ctx = SamplingContext::new(&g, Model::LinearThreshold).with_seed(seed);
+    let cons = Ssa::new(params).run(&ctx).unwrap();
+    let fix = Ssa::new(params.with_stopping_rule(StoppingRule::DssaFix)).run(&ctx).unwrap();
+    assert_eq!(cons.seeds, fix.seeds);
+    assert_eq!(cons.rr_sets_main, fix.rr_sets_main);
+    assert_eq!(cons.rr_sets_verify, fix.rr_sets_verify);
+    assert_eq!(cons.iterations, fix.iterations);
+    assert_eq!(cons.influence_estimate, fix.influence_estimate);
+    assert_eq!(cons.binding, fix.binding);
+    assert_eq!(cons.stopping_rule, Some(StoppingRule::Conservative));
+    assert_eq!(fix.stopping_rule, Some(StoppingRule::DssaFix));
 }
