@@ -166,6 +166,77 @@ fn bench_grow_while_serving(c: &mut Criterion) {
     group.finish();
 }
 
+/// Bake-then-serve: loading a saved 100k-set pool (every epoch
+/// checksum-verified, fingerprint checked) vs resampling it from
+/// scratch. Returns the realized load-vs-resample speedup, tracked in
+/// the JSON `counters` as `store_load_vs_resample_speedup` — a *floor*
+/// counter: `bench_diff` fails loudly if it falls below the baselined
+/// minimum (100×), and `--write` never raises the floor automatically.
+fn bench_store(c: &mut Criterion) -> u64 {
+    use std::time::Instant;
+
+    // Dense ER fixture (4k nodes, 4M arcs, WeightedCascade): the
+    // paper's serving regime where baking is expensive and the baked
+    // artifact is small. A WC random RR walk examines every in-edge of
+    // each node it visits, so per-stored-entry sampling cost scales
+    // with average in-degree (~1000 edge examinations per entry here)
+    // while RR-set *size* — and hence segment bytes, checksum work and
+    // index-compact work on the load path — stays degree-independent.
+    // That asymmetry is exactly what the store exists to exploit.
+    let g = sns_graph::gen::erdos_renyi(4_000, 4_000_000, 7)
+        .build(sns_graph::WeightModel::WeightedCascade)
+        .expect("fixture graph builds");
+    let ctx = SamplingContext::new(&g, Model::IndependentCascade).with_seed(3).with_threads(8);
+    const STORE_SETS: u64 = 100_000;
+
+    let resample_start = Instant::now();
+    let engine = SeedQueryEngine::sample(&ctx, STORE_SETS).with_threads(8);
+    let resample = resample_start.elapsed();
+
+    let dir = std::env::temp_dir().join(format!("sns-bench-pool-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let stats = engine.save(&dir).expect("save commits");
+
+    // Best of three full loads (each one re-verifies every checksum):
+    // the first load after the multi-gigabyte BA benches above pays
+    // one-off allocator/page-cache noise that the serving regime —
+    // load once, answer queries forever — never sees steady-state.
+    let mut load = Duration::MAX;
+    for _ in 0..3 {
+        let load_start = Instant::now();
+        let loaded = SeedQueryEngine::from_store(&dir, &ctx).expect("load verifies");
+        load = load.min(load_start.elapsed());
+        assert_eq!(loaded.pool().len(), engine.pool().len(), "load must restore every set");
+    }
+
+    let speedup = (resample.as_nanos() / load.as_nanos().max(1)) as u64;
+    println!(
+        "store: resampled {STORE_SETS} sets in {resample:.0?}; saved {} KiB; \
+         loaded + verified in {load:.0?} ({speedup}x)",
+        stats.bytes_written / 1024
+    );
+
+    let mut group = c.benchmark_group("pool_store");
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_secs(1));
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("load-verified", "100k-sets"), &dir, |b, dir| {
+        b.iter(|| SeedQueryEngine::from_store(dir, &ctx).expect("load verifies").pool().len())
+    });
+    let rewrite_dir =
+        std::env::temp_dir().join(format!("sns-bench-pool-store-w-{}", std::process::id()));
+    group.bench_with_input(BenchmarkId::new("save-full-rewrite", "100k-sets"), &engine, |b, e| {
+        b.iter(|| {
+            let _ = std::fs::remove_dir_all(&rewrite_dir);
+            e.save(&rewrite_dir).expect("save commits").bytes_written
+        })
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&rewrite_dir);
+    speedup
+}
+
 fn main() {
     // `cargo bench -p sns-bench -- --test` (the CI bench-smoke job):
     // pool build, bit-identity asserts and one iteration of every
@@ -189,10 +260,15 @@ fn main() {
     let threaded = SeedQueryEngine::from_pool(pool, gamma).with_threads(4);
     bench_queries(&mut c, &engine, &threaded);
     bench_grow_while_serving(&mut c);
+    let speedup = bench_store(&mut c);
     if !test_mode {
-        // counters() includes the grow-while-serving cache script — see
-        // sns_bench::sample_counts.
-        let counters = sns_bench::sample_counts::counters();
+        // counters() includes the grow-while-serving cache script and the
+        // deterministic store-recovery outcome — see
+        // sns_bench::sample_counts. The load-vs-resample speedup is
+        // appended here (it needs the 100k-set pool this bench bakes)
+        // and diffed by bench_diff as a floor, not an exact value.
+        let mut counters = sns_bench::sample_counts::counters();
+        counters.push(("store_load_vs_resample_speedup", speedup));
         support::write_bench_json_with_counters(&c, "BENCH_query_engine.json", &counters);
     }
 }

@@ -7,6 +7,10 @@
 //! scratch ([`sns_bench::sample_counts::counters`]) and diffs them — and
 //! any counters found in checked-in `BENCH_*.json` snapshots — against
 //! the baseline file `results/bench_baselines/sample_counts.json`.
+//! Counters named `*_speedup` (e.g. the pool-store load-vs-resample
+//! ratio) are timing-derived **floors**: they pass at or above their
+//! baselined minimum, fail loudly below it, and `--write` carries the
+//! floor over instead of overwriting it with a local measurement.
 //!
 //! Any mismatch prints a GitHub-annotation warning, lands in the
 //! workflow's step summary as an expected-vs-realized table
@@ -58,7 +62,17 @@ fn parse_counters(json: &str) -> BTreeMap<String, u64> {
     out
 }
 
-fn write_baseline(path: &Path, counters: &[(&str, u64)]) {
+/// Counters named `*_speedup` are timing-derived **floors**: the
+/// realized value passes at or above the baseline, fails below it,
+/// and `--write` preserves the baselined floor instead of overwriting
+/// it with whatever this machine happened to measure. They are only
+/// computed by the real bench runs, so the recomputed pass neither
+/// produces nor orphan-checks them.
+fn is_floor(name: &str) -> bool {
+    name.ends_with("_speedup")
+}
+
+fn write_baseline(path: &Path, counters: &[(String, u64)]) {
     let mut out = String::from("{\n  \"counters\": {\n");
     for (i, (name, value)) in counters.iter().enumerate() {
         let sep = if i + 1 == counters.len() { "" } else { "," };
@@ -81,11 +95,21 @@ struct Row {
 
 impl Row {
     fn is_drift(&self) -> bool {
-        self.expected != self.realized
+        match (self.expected, self.realized) {
+            (Some(e), Some(r)) if is_floor(&self.name) => r < e,
+            (e, r) => e != r,
+        }
     }
 
     fn status(&self) -> String {
         match (self.expected, self.realized) {
+            (Some(e), Some(r)) if is_floor(&self.name) => {
+                if r >= e {
+                    "ok (>= floor)".into()
+                } else {
+                    format!("below floor ({:.2}x)", r as f64 / e as f64)
+                }
+            }
             (Some(e), Some(r)) if e == r => "ok".into(),
             (Some(e), Some(r)) => format!("drift ({:.2}x)", r as f64 / e as f64),
             (None, Some(_)) => "no baseline".into(),
@@ -117,6 +141,18 @@ fn diff(
                 "::warning::{source}: counter {name} = {value} has no baseline — \
                  rebaseline with `bench_diff --write`"
             ),
+            Some(floor) if is_floor(name) => {
+                if value >= floor {
+                    println!("{source}: {name} = {value} meets its floor of {floor}");
+                } else {
+                    mismatches += 1;
+                    println!(
+                        "::warning::{source}: counter {name} = {value} fell below its \
+                         baselined floor {floor} — a performance regression, not noise; \
+                         investigate before rebaselining"
+                    );
+                }
+            }
             Some(want) if want != value => {
                 mismatches += 1;
                 let ratio = value as f64 / want as f64;
@@ -190,7 +226,17 @@ fn main() {
     let fresh = sns_bench::sample_counts::counters();
 
     if std::env::args().any(|a| a == "--write") {
-        write_baseline(&baseline_path, &fresh);
+        let mut all: Vec<(String, u64)> = fresh.iter().map(|&(n, v)| (n.to_string(), v)).collect();
+        // Floors are hand-set policy, not measurements: carry them over
+        // verbatim from the previous baseline.
+        if let Ok(old) = std::fs::read_to_string(&baseline_path) {
+            for (name, value) in parse_counters(&old) {
+                if is_floor(&name) && !all.iter().any(|(n, _)| *n == name) {
+                    all.push((name, value));
+                }
+            }
+        }
+        write_baseline(&baseline_path, &all);
         return;
     }
 
@@ -203,8 +249,10 @@ fn main() {
     let mut rows = Vec::new();
     let mut mismatches = diff("recomputed", &fresh_map, &baseline, &mut rows);
     // Orphaned baseline entries matter too: a renamed or deleted counter
-    // must not silently shrink what the guard guards.
-    for name in baseline.keys().filter(|n| !fresh_map.contains_key(*n)) {
+    // must not silently shrink what the guard guards. Floor counters are
+    // exempt — they live only in the bench-run snapshots, never in the
+    // recomputed set.
+    for name in baseline.keys().filter(|n| !fresh_map.contains_key(*n) && !is_floor(n)) {
         mismatches += 1;
         rows.push(Row {
             source: "recomputed".into(),

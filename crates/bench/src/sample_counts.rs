@@ -18,7 +18,8 @@
 //! `query_engine` bench embeds them in `BENCH_query_engine.json`.
 
 use sns_core::{
-    Dssa, Params, QueryStats, SamplingContext, SeedQuery, SeedQueryEngine, Ssa, StoppingRule,
+    Dssa, Params, QueryStats, Recovery, SamplingContext, SeedQuery, SeedQueryEngine, Ssa,
+    StoppingRule,
 };
 use sns_diffusion::Model;
 use sns_graph::{gen, WeightModel};
@@ -63,6 +64,43 @@ pub fn serving_counters() -> Vec<(&'static str, u64)> {
     ]
 }
 
+/// Store-robustness counters of a fixed crash-recovery script: bake a
+/// 4-epoch pool (4 × 250 sets, ER(300, 1800), IC, seed 13), flip one
+/// payload bit in the newest segment on disk, and count what the
+/// recovering loader keeps and loses. Fully deterministic — no timing
+/// is involved, only the recovery *outcome*; a regression that makes
+/// recovery keep fewer (or claim more) epochs than the damage warrants
+/// shows up as an exact counter drift.
+pub fn store_counters() -> Vec<(&'static str, u64)> {
+    let g = gen::erdos_renyi(300, 1800, 13).build(WeightModel::WeightedCascade).unwrap();
+    let ctx = SamplingContext::new(&g, Model::IndependentCascade).with_seed(13);
+    let mut engine = SeedQueryEngine::sample(&ctx, 250);
+    for _ in 0..3 {
+        engine.extend(&ctx, 250);
+    }
+    let dir = std::env::temp_dir().join(format!("sns-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    engine.save(&dir).expect("store save succeeds");
+
+    let segment = dir.join("epoch-00003.rr");
+    let mut bytes = std::fs::read(&segment).expect("newest segment exists");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&segment, &bytes).expect("rewrite damaged segment");
+
+    let (recovered, recovery) =
+        SeedQueryEngine::from_store_recovering(&dir, &ctx).expect("valid prefix recovers");
+    let lost = match recovery {
+        Recovery::Recovered { epochs_lost, .. } => u64::from(epochs_lost),
+        Recovery::Intact => 0,
+    };
+    let _ = std::fs::remove_dir_all(&dir);
+    vec![
+        ("store_recovered_epochs", recovered.pool().epoch_boundaries().len() as u64),
+        ("store_lost_epochs", lost),
+    ]
+}
+
 /// The tracked `(name, value)` counters, recomputed from scratch
 /// (seconds of work; all streams seeded). Names are stable — `bench_diff`
 /// treats a missing baseline entry as "new counter, record it".
@@ -102,6 +140,7 @@ pub fn counters() -> Vec<(&'static str, u64)> {
         ("ssa_rmat_lt_k10_rr_sets_total", ssa_rmat.rr_sets_total()),
     ];
     out.extend(serving_counters());
+    out.extend(store_counters());
     out
 }
 
@@ -118,5 +157,11 @@ mod tests {
         // legitimately be zero (the script provokes no evictions)
         assert!(a.iter().filter(|(name, _)| name.ends_with("rr_sets_total")).all(|&(_, v)| v > 0));
         assert!(a.iter().any(|(name, v)| name.starts_with("query_engine_grow") && *v > 0));
+        // one bit flipped in the last of 4 epochs: 3 kept, 1 lost
+        assert!(a.contains(&("store_recovered_epochs", 3)));
+        assert!(a.contains(&("store_lost_epochs", 1)));
+        // timing-derived floor counters (`*_speedup`) are bench-side
+        // only — they must never enter the deterministic set
+        assert!(a.iter().all(|(name, _)| !name.ends_with("_speedup")));
     }
 }

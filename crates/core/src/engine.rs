@@ -43,15 +43,18 @@
 
 use std::collections::HashMap;
 use std::ops::Range;
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 
+use sns_diffusion::RootDist;
 use sns_graph::NodeId;
 use sns_rrset::{
-    CoverageView, GainSnapshot, GreedyScratch, RrCollection, SeedConstraints, WeightedGainSnapshot,
+    CoverageView, GainSnapshot, GreedyScratch, PoolStore, Recovery, RrCollection, SaveStats,
+    SeedConstraints, StoreFingerprint, WeightedGainSnapshot,
 };
 
-use crate::{CoreError, SamplingContext};
+use crate::{CoreError, RunResult, SamplingContext};
 
 /// One seed-selection question against a frozen pool. Construct with
 /// [`SeedQuery::top_k`] and refine with the builder methods; the
@@ -323,6 +326,12 @@ pub struct SeedQueryEngine {
     /// would rival the very histogram work the snapshot path saves.
     /// (`answer_batch` workers carry their own, uncontended.)
     answer_scratch: Mutex<GreedyScratch>,
+    /// Sampling identity of the pool, set by the constructors that know
+    /// it ([`SeedQueryEngine::sample`], [`SeedQueryEngine::from_store`])
+    /// and required by [`SeedQueryEngine::save`]. `None` for
+    /// [`SeedQueryEngine::from_pool`] engines, whose pool provenance the
+    /// engine cannot vouch for.
+    fingerprint: Option<StoreFingerprint>,
 }
 
 impl SeedQueryEngine {
@@ -339,7 +348,16 @@ impl SeedQueryEngine {
             next_sample_index,
             cache: Mutex::new(SnapshotCache::new(DEFAULT_CACHE_BUDGET)),
             answer_scratch: Mutex::new(GreedyScratch::new()),
+            fingerprint: None,
         }
+    }
+
+    /// Locks the snapshot cache, recovering from poisoning: cache
+    /// contents are pure functions of the frozen pool (at worst a
+    /// half-inserted entry costs a rebuild), so a worker that panicked
+    /// while holding the lock must not wedge every subsequent query.
+    fn lock_cache(&self) -> MutexGuard<'_, SnapshotCache> {
+        self.cache.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Samples a fresh `count`-set pool from `ctx` (stream 0, the same
@@ -356,7 +374,112 @@ impl SeedQueryEngine {
             let mut sampler = ctx.sampler(0);
             pool.extend_sequential(&mut sampler, 0, count);
         }
-        Self::from_pool(pool, ctx.gamma()).with_threads(ctx.threads())
+        let mut engine = Self::from_pool(pool, ctx.gamma()).with_threads(ctx.threads());
+        engine.fingerprint = Some(Self::context_fingerprint(ctx));
+        engine
+    }
+
+    /// The [`StoreFingerprint`] a context's sampling identity maps to:
+    /// what [`SeedQueryEngine::save`] records and
+    /// [`SeedQueryEngine::from_store`] demands back.
+    fn context_fingerprint(ctx: &SamplingContext<'_>) -> StoreFingerprint {
+        let roots = match ctx.roots() {
+            RootDist::Uniform => "uniform",
+            RootDist::Weighted(_) => "weighted",
+        };
+        StoreFingerprint {
+            graph_hash: ctx.graph().content_hash(),
+            num_nodes: ctx.graph().num_nodes(),
+            model: ctx.model().short_name().to_string(),
+            rng_seed: ctx.seed(),
+            gamma: ctx.gamma(),
+            meta: vec![("roots".to_string(), roots.to_string())],
+        }
+    }
+
+    /// Attaches stopping-rule provenance from a solver run to the
+    /// engine's fingerprint, so a saved store records *why* the pool has
+    /// its size (rule, binding condition, iterations, set counts). No
+    /// effect on [`SeedQueryEngine::from_pool`] engines — they carry no
+    /// fingerprint and cannot be saved in the first place.
+    pub fn with_run_metadata(mut self, run: &RunResult) -> Self {
+        if let Some(fp) = &mut self.fingerprint {
+            let rule = run.stopping_rule.map_or("fixed-schedule", |r| r.label());
+            fp.meta.extend([
+                ("stopping_rule".to_string(), rule.to_string()),
+                ("binding".to_string(), format!("{:?}", run.binding)),
+                ("iterations".to_string(), run.iterations.to_string()),
+                ("rr_sets_main".to_string(), run.rr_sets_main.to_string()),
+                ("rr_sets_verify".to_string(), run.rr_sets_verify.to_string()),
+                ("influence_estimate".to_string(), run.influence_estimate.to_string()),
+                ("hit_cap".to_string(), run.hit_cap.to_string()),
+            ]);
+        }
+        self
+    }
+
+    /// The engine's sampling fingerprint, if its constructor knew one.
+    pub fn fingerprint(&self) -> Option<&StoreFingerprint> {
+        self.fingerprint.as_ref()
+    }
+
+    /// Persists the frozen pool to the store directory at `dir`
+    /// ([`sns_rrset::PoolStore`]): checksummed per-epoch segments plus an
+    /// atomically committed manifest carrying the engine's fingerprint.
+    /// Incremental — saving after [`SeedQueryEngine::extend`] writes only
+    /// the new epochs. Requires a fingerprint, i.e. an engine built by
+    /// [`SeedQueryEngine::sample`] or [`SeedQueryEngine::from_store`]
+    /// (use [`sns_rrset::PoolStore::save`] directly to persist a foreign
+    /// pool under a hand-made fingerprint).
+    pub fn save(&self, dir: impl AsRef<Path>) -> Result<SaveStats, CoreError> {
+        let fingerprint = self.fingerprint.as_ref().ok_or_else(|| {
+            CoreError::InvalidParams(
+                "engine carries no sampling fingerprint (built with from_pool); \
+                 only sample()/from_store() engines know what to record"
+                    .into(),
+            )
+        })?;
+        Ok(PoolStore::at(dir.as_ref()).save(&self.pool, fingerprint)?)
+    }
+
+    /// Loads a pool saved by [`SeedQueryEngine::save`] and freezes it for
+    /// serving — the "bake then serve" restart path that skips
+    /// resampling. Every epoch is checksum-verified, and the store's
+    /// fingerprint must match `ctx`'s sampling identity (same graph
+    /// content, model, seed, Γ), so a store can never silently serve
+    /// answers for a different network. Strict: any damage is a typed
+    /// [`CoreError::Store`]; see
+    /// [`SeedQueryEngine::from_store_recovering`] for the
+    /// salvage-the-prefix alternative.
+    pub fn from_store(dir: impl AsRef<Path>, ctx: &SamplingContext<'_>) -> Result<Self, CoreError> {
+        let (pool, fingerprint) = PoolStore::at(dir.as_ref()).load(ctx.threads())?;
+        Self::engine_from_loaded(pool, fingerprint, ctx)
+    }
+
+    /// Like [`SeedQueryEngine::from_store`], but recovers the longest
+    /// valid epoch prefix when the store is damaged: the engine serves
+    /// the verified sets immediately, and because sampling is
+    /// deterministic per index, `engine.extend(ctx, sets_lost)`
+    /// regenerates the lost tail bit-identically. Manifest damage and
+    /// fingerprint mismatches are still hard errors.
+    pub fn from_store_recovering(
+        dir: impl AsRef<Path>,
+        ctx: &SamplingContext<'_>,
+    ) -> Result<(Self, Recovery), CoreError> {
+        let (pool, fingerprint, recovery) =
+            PoolStore::at(dir.as_ref()).load_recovering(ctx.threads())?;
+        Ok((Self::engine_from_loaded(pool, fingerprint, ctx)?, recovery))
+    }
+
+    fn engine_from_loaded(
+        pool: RrCollection,
+        fingerprint: StoreFingerprint,
+        ctx: &SamplingContext<'_>,
+    ) -> Result<Self, CoreError> {
+        fingerprint.matches_sampling(&Self::context_fingerprint(ctx))?;
+        let mut engine = Self::from_pool(pool, fingerprint.gamma).with_threads(ctx.threads());
+        engine.fingerprint = Some(fingerprint);
+        Ok(engine)
     }
 
     /// Sets the worker-thread budget for [`SeedQueryEngine::answer_batch`]
@@ -372,7 +495,7 @@ impl SeedQueryEngine {
     /// budget trades latency for memory, never correctness. Answers do
     /// not depend on it.
     pub fn with_cache_budget(self, bytes: u64) -> Self {
-        self.cache.lock().expect("snapshot cache poisoned").budget = bytes;
+        self.lock_cache().budget = bytes;
         self
     }
 
@@ -401,7 +524,7 @@ impl SeedQueryEngine {
 
     /// The engine's cumulative cache/query counters.
     pub fn stats(&self) -> QueryStats {
-        self.cache.lock().expect("snapshot cache poisoned").snapshot_stats()
+        self.lock_cache().snapshot_stats()
     }
 
     /// The frozen pool.
@@ -420,7 +543,10 @@ impl SeedQueryEngine {
     /// independently). Per-range gain snapshots are cached either way.
     pub fn answer(&self, query: &SeedQuery) -> Result<SeedAnswer, CoreError> {
         self.validate(query)?;
-        let mut scratch = self.answer_scratch.lock().expect("answer scratch poisoned");
+        // Scratch state is generation-stamped and fully re-initialized per
+        // selection, so a poisoned lock (a panic mid-answer) is recovered,
+        // not propagated.
+        let mut scratch = self.answer_scratch.lock().unwrap_or_else(PoisonError::into_inner);
         Ok(self.answer_validated(query, &mut scratch))
     }
 
@@ -609,7 +735,7 @@ impl SeedQueryEngine {
             epochs: self.epoch_signature(range.end),
         };
         {
-            let mut cache = self.cache.lock().expect("snapshot cache poisoned");
+            let mut cache = self.lock_cache();
             if let Some(CachedSnapshot::Plain(snap)) = cache.get(&key) {
                 cache.stats.snapshot_hits += 1;
                 return snap;
@@ -637,10 +763,10 @@ impl SeedQueryEngine {
                 .collect();
             let refs: Vec<&GainSnapshot> = parts.iter().map(Arc::as_ref).collect();
             let merged = Arc::new(GainSnapshot::merge(&refs));
-            self.cache.lock().expect("snapshot cache poisoned").stats.merges += 1;
+            self.lock_cache().stats.merges += 1;
             merged
         };
-        let mut cache = self.cache.lock().expect("snapshot cache poisoned");
+        let mut cache = self.lock_cache();
         cache.insert(key, CachedSnapshot::Plain(Arc::clone(&built)));
         built
     }
@@ -654,13 +780,11 @@ impl SeedQueryEngine {
             end: epoch.end,
             epochs: self.epoch_signature(epoch.end),
         };
-        if let Some(CachedSnapshot::Plain(snap)) =
-            self.cache.lock().expect("snapshot cache poisoned").get(&key)
-        {
+        if let Some(CachedSnapshot::Plain(snap)) = self.lock_cache().get(&key) {
             return snap;
         }
         let built = Arc::new(GainSnapshot::build(&CoverageView::build(&self.pool, epoch.clone())));
-        let mut cache = self.cache.lock().expect("snapshot cache poisoned");
+        let mut cache = self.lock_cache();
         cache.stats.epochs_frozen += 1;
         cache.insert(key, CachedSnapshot::Plain(Arc::clone(&built)));
         built
@@ -678,7 +802,7 @@ impl SeedQueryEngine {
     ) -> Arc<WeightedGainSnapshot> {
         let key = CacheKey::Weighted { start: range.start, end: range.end, topic };
         {
-            let mut cache = self.cache.lock().expect("snapshot cache poisoned");
+            let mut cache = self.lock_cache();
             if let Some(CachedSnapshot::Weighted(snap, cached_weights)) = cache.get(&key) {
                 if Arc::ptr_eq(&cached_weights, weights) {
                     cache.stats.weighted_hits += 1;
@@ -691,7 +815,7 @@ impl SeedQueryEngine {
             &CoverageView::build(&self.pool, range.clone()),
             weights,
         ));
-        let mut cache = self.cache.lock().expect("snapshot cache poisoned");
+        let mut cache = self.lock_cache();
         cache.insert(key, CachedSnapshot::Weighted(Arc::clone(&built), Arc::clone(weights)));
         built
     }
@@ -841,6 +965,157 @@ mod tests {
         let batch = [SeedQuery::top_k(1), SeedQuery::top_k(0)];
         let err = e.answer_batch(&batch).unwrap_err().to_string();
         assert!(err.contains("query 1"), "{err}");
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("sns-engine-store-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn poisoned_mutexes_do_not_wedge_the_engine() {
+        let e = engine(600, 9);
+        let baseline = e.answer(&SeedQuery::top_k(3)).unwrap();
+        // Poison both internal mutexes the way a crashed worker would:
+        // panic while holding the lock.
+        let crash = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = e.cache.lock().unwrap();
+            panic!("worker dies holding the cache lock");
+        }));
+        assert!(crash.is_err());
+        let crash = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = e.answer_scratch.lock().unwrap();
+            panic!("worker dies holding the scratch lock");
+        }));
+        assert!(crash.is_err());
+        assert!(e.cache.is_poisoned());
+        assert!(e.answer_scratch.is_poisoned());
+        // the engine still answers — bit-identically — and every other
+        // lock-crossing entry point stays usable
+        assert_eq!(e.answer(&SeedQuery::top_k(3)).unwrap(), baseline);
+        assert!(e.answer_batch(&[SeedQuery::top_k(2), SeedQuery::top_k(4)]).is_ok());
+        let _ = e.stats();
+        let e = e.with_cache_budget(1 << 20);
+        assert_eq!(e.answer(&SeedQuery::top_k(3)).unwrap(), baseline);
+    }
+
+    #[test]
+    fn save_load_round_trip_preserves_answers_and_metadata() {
+        let g = gen::erdos_renyi(300, 1800, 13).build(WeightModel::WeightedCascade).unwrap();
+        let ctx = SamplingContext::new(&g, Model::IndependentCascade).with_seed(21);
+        let run = Dssa::new(Params::new(4, 0.3, 0.1).unwrap()).run(&ctx).unwrap();
+        let baked = SeedQueryEngine::sample(&ctx, 1200).with_run_metadata(&run);
+        let dir = temp_dir("roundtrip");
+        let stats = baked.save(&dir).unwrap();
+        assert!(stats.epochs_written >= 1);
+
+        let served = SeedQueryEngine::from_store(&dir, &ctx).unwrap();
+        let queries: Vec<SeedQuery> = (1..=6).map(SeedQuery::top_k).collect();
+        assert_eq!(served.answer_batch(&queries).unwrap(), baked.answer_batch(&queries).unwrap());
+        // stopping-rule provenance survives the round trip
+        let fp = served.fingerprint().unwrap();
+        assert!(fp.meta.iter().any(|(k, v)| k == "stopping_rule" && !v.is_empty()), "{fp:?}");
+        assert!(fp.meta.iter().any(|(k, _)| k == "rr_sets_main"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn extend_then_save_appends_only_new_epochs() {
+        let g = gen::erdos_renyi(300, 1800, 14).build(WeightModel::WeightedCascade).unwrap();
+        let ctx = SamplingContext::new(&g, Model::IndependentCascade).with_seed(22);
+        let mut e = SeedQueryEngine::sample(&ctx, 800);
+        let dir = temp_dir("extend");
+        e.save(&dir).unwrap();
+        e.extend(&ctx, 400);
+        let stats = e.save(&dir).unwrap();
+        assert_eq!((stats.epochs_reused, stats.epochs_written), (1, 1));
+
+        let mut served = SeedQueryEngine::from_store(&dir, &ctx).unwrap();
+        assert_eq!(served.pool().epoch_boundaries(), e.pool().epoch_boundaries());
+        assert_eq!(
+            served.answer(&SeedQuery::top_k(5)).unwrap(),
+            e.answer(&SeedQuery::top_k(5)).unwrap()
+        );
+        // the loaded engine continues the deterministic sample stream
+        served.extend(&ctx, 300);
+        let oneshot = SeedQueryEngine::sample(&ctx, 1500);
+        assert_eq!(
+            served.answer(&SeedQuery::top_k(5)).unwrap(),
+            oneshot.answer(&SeedQuery::top_k(5)).unwrap()
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recovered_prefix_plus_extend_reproduces_the_pool() {
+        let g = gen::erdos_renyi(300, 1800, 18).build(WeightModel::WeightedCascade).unwrap();
+        let ctx = SamplingContext::new(&g, Model::IndependentCascade).with_seed(25);
+        let mut e = SeedQueryEngine::sample(&ctx, 500);
+        e.extend(&ctx, 500); // two epochs on disk
+        let dir = temp_dir("recover");
+        e.save(&dir).unwrap();
+        std::fs::remove_file(dir.join("epoch-00001.rr")).unwrap();
+
+        assert!(matches!(SeedQueryEngine::from_store(&dir, &ctx), Err(CoreError::Store(_))));
+        let (mut rec, recovery) = SeedQueryEngine::from_store_recovering(&dir, &ctx).unwrap();
+        let Recovery::Recovered { epochs_lost, sets_lost } = recovery else {
+            panic!("expected a recovery, got {recovery:?}")
+        };
+        assert_eq!((epochs_lost, sets_lost), (1, 500));
+        // recovered-prefix answers ≡ a pool sampled to that prefix
+        let prefix = SeedQueryEngine::sample(&ctx, 500);
+        assert_eq!(
+            rec.answer(&SeedQuery::top_k(4)).unwrap(),
+            prefix.answer(&SeedQuery::top_k(4)).unwrap()
+        );
+        // resampling exactly the lost tail restores the full pool
+        rec.extend(&ctx, sets_lost);
+        assert_eq!(
+            rec.answer(&SeedQuery::top_k(4)).unwrap(),
+            e.answer(&SeedQuery::top_k(4)).unwrap()
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn from_store_refuses_a_different_sampling_identity() {
+        let g = gen::erdos_renyi(300, 1800, 15).build(WeightModel::WeightedCascade).unwrap();
+        let ctx = SamplingContext::new(&g, Model::IndependentCascade).with_seed(23);
+        let e = SeedQueryEngine::sample(&ctx, 300);
+        let dir = temp_dir("refuse");
+        e.save(&dir).unwrap();
+        let wrong_seed = SamplingContext::new(&g, Model::IndependentCascade).with_seed(24);
+        assert!(matches!(SeedQueryEngine::from_store(&dir, &wrong_seed), Err(CoreError::Store(_))));
+        let wrong_model = SamplingContext::new(&g, Model::LinearThreshold).with_seed(23);
+        assert!(matches!(
+            SeedQueryEngine::from_store(&dir, &wrong_model),
+            Err(CoreError::Store(_))
+        ));
+        let g2 = gen::erdos_renyi(300, 1800, 99).build(WeightModel::WeightedCascade).unwrap();
+        let wrong_graph = SamplingContext::new(&g2, Model::IndependentCascade).with_seed(23);
+        assert!(matches!(
+            SeedQueryEngine::from_store(&dir, &wrong_graph),
+            Err(CoreError::Store(_))
+        ));
+        // the right context still loads
+        assert!(SeedQueryEngine::from_store(&dir, &ctx).is_ok());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn from_pool_engines_cannot_save() {
+        let g = gen::erdos_renyi(50, 200, 17).build(WeightModel::WeightedCascade).unwrap();
+        let ctx = SamplingContext::new(&g, Model::IndependentCascade);
+        let mut pool = sns_rrset::RrCollection::new(50);
+        pool.extend_sequential(&mut ctx.sampler(0), 0, 50);
+        let e = SeedQueryEngine::from_pool(pool, 50.0);
+        assert!(e.fingerprint().is_none());
+        // fails before touching the filesystem — the path is never created
+        let never = std::env::temp_dir().join("sns-engine-store-never-created");
+        assert!(matches!(e.save(&never), Err(CoreError::InvalidParams(_))));
+        assert!(!never.exists());
     }
 
     #[test]

@@ -11,6 +11,10 @@ pub enum CoreError {
     /// Propagated graph-layer failure (e.g. building a weighted root
     /// distribution from degenerate weights).
     Graph(sns_graph::GraphError),
+    /// Propagated persistent-pool-store failure (corruption, fingerprint
+    /// mismatch, I/O) from saving or loading a
+    /// [`crate::SeedQueryEngine`].
+    Store(sns_rrset::StoreError),
 }
 
 impl fmt::Display for CoreError {
@@ -18,6 +22,7 @@ impl fmt::Display for CoreError {
         match self {
             CoreError::InvalidParams(msg) => write!(f, "invalid parameters: {msg}"),
             CoreError::Graph(e) => write!(f, "graph error: {e}"),
+            CoreError::Store(e) => write!(f, "pool store error: {e}"),
         }
     }
 }
@@ -26,6 +31,7 @@ impl std::error::Error for CoreError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CoreError::Graph(e) => Some(e),
+            CoreError::Store(e) => Some(e),
             _ => None,
         }
     }
@@ -34,6 +40,12 @@ impl std::error::Error for CoreError {
 impl From<sns_graph::GraphError> for CoreError {
     fn from(e: sns_graph::GraphError) -> Self {
         CoreError::Graph(e)
+    }
+}
+
+impl From<sns_rrset::StoreError> for CoreError {
+    fn from(e: sns_rrset::StoreError) -> Self {
+        CoreError::Store(e)
     }
 }
 

@@ -80,3 +80,8 @@ pub use framework::{ris_fixed_pool, RisThresholds};
 pub use params::{Params, SsaEpsilons};
 pub use result::RunResult;
 pub use ssa::Ssa;
+
+// Persistence layer behind [`SeedQueryEngine::save`] /
+// [`SeedQueryEngine::from_store`], re-exported so engine callers don't
+// need a direct `sns_rrset` dependency to handle its outcomes.
+pub use sns_rrset::{PoolStore, Recovery, SaveStats, StoreError, StoreFingerprint};

@@ -38,6 +38,9 @@ pub struct Graph {
     in_cum: Vec<f32>,
     /// Cached `Σ_u w(u, v)` per node (the last prefix sum of the segment).
     in_weight_sum: Vec<f32>,
+    /// Lazily computed [`Graph::content_hash`] digest. The CSR arrays
+    /// never mutate after construction, so the first hash is the hash.
+    pub(crate) content_digest: std::sync::OnceLock<u64>,
 }
 
 impl Graph {
@@ -86,6 +89,7 @@ impl Graph {
             in_weights,
             in_cum,
             in_weight_sum,
+            content_digest: std::sync::OnceLock::new(),
         }
     }
 

@@ -1,0 +1,203 @@
+//! Content hashing for graphs and on-disk artifacts.
+//!
+//! The persistent pool store (`sns-rrset`'s `store` module) needs two
+//! things from a hash: a *fingerprint* tying a saved RR pool to the
+//! exact graph it was sampled from, and a fast *checksum* detecting
+//! bit rot in multi-megabyte segment files. Both are served by
+//! [`Fnv64`], a word-wise variant of FNV-1a: input is consumed in
+//! 8-byte little-endian words (the tail word is zero-padded and the
+//! total byte length is folded in at [`Fnv64::finish`], so truncations
+//! and padding collisions change the digest). Word-wise folding keeps
+//! the mix of FNV-1a — every xor'd difference is diffused by an odd
+//! multiplier, so any single-bit flip changes the digest — at roughly
+//! 8× the throughput of the byte-at-a-time original, which matters on
+//! the load path where the entire pool is re-verified.
+//!
+//! This is an integrity check against accidental corruption (torn
+//! writes, truncation, bit rot), **not** a cryptographic MAC: an
+//! adversary who can write the files can forge the digests.
+
+use crate::Graph;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Streaming word-wise FNV-1a hasher (see the module docs).
+#[derive(Debug, Clone)]
+pub struct Fnv64 {
+    state: u64,
+    /// Partial input word, filled little-endian.
+    pending: u64,
+    /// Bytes currently buffered in `pending` (0..8).
+    pending_len: u32,
+    /// Total bytes consumed, folded in at `finish`.
+    len: u64,
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv64 {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv64 { state: FNV_OFFSET, pending: 0, pending_len: 0, len: 0 }
+    }
+
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.state ^= word;
+        self.state = self.state.wrapping_mul(FNV_PRIME);
+    }
+
+    /// Consumes `bytes`. Digests depend only on the concatenated byte
+    /// stream, not on how it was chunked across calls.
+    pub fn write(&mut self, bytes: &[u8]) {
+        self.len += bytes.len() as u64;
+        let mut rest = bytes;
+        // Top up a partial word first so chunk boundaries don't matter.
+        while self.pending_len != 0 && !rest.is_empty() {
+            self.pending |= u64::from(rest[0]) << (8 * self.pending_len);
+            self.pending_len += 1;
+            rest = &rest[1..];
+            if self.pending_len == 8 {
+                let w = self.pending;
+                self.mix(w);
+                self.pending = 0;
+                self.pending_len = 0;
+            }
+        }
+        let mut chunks = rest.chunks_exact(8);
+        for chunk in &mut chunks {
+            let w = u64::from_le_bytes(chunk.try_into().expect("chunk of 8"));
+            self.mix(w);
+        }
+        for (i, &b) in chunks.remainder().iter().enumerate() {
+            self.pending |= u64::from(b) << (8 * i);
+            self.pending_len = i as u32 + 1;
+        }
+    }
+
+    /// Convenience for hashing one `u64` (written little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Convenience for hashing one `u32` (written little-endian).
+    pub fn write_u32(&mut self, v: u32) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Final digest: flushes the zero-padded tail word and folds in the
+    /// total byte length.
+    pub fn finish(&self) -> u64 {
+        let mut h = self.clone();
+        if h.pending_len > 0 {
+            let w = h.pending;
+            h.mix(w);
+        }
+        let len = h.len;
+        h.mix(len);
+        h.state
+    }
+}
+
+/// One-shot digest of a byte slice.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(bytes);
+    h.finish()
+}
+
+impl Graph {
+    /// A deterministic digest of the graph's full content — node count,
+    /// arc count, and every `(from, to, weight-bits)` triple in storage
+    /// order. Two graphs hash equal iff their CSR content is identical,
+    /// so the digest fingerprints *exactly* what RR sampling consumes;
+    /// the persistent pool store records it to refuse serving a pool
+    /// against a different graph.
+    ///
+    /// Computed once and cached: the CSR arrays are immutable after
+    /// construction, so repeated fingerprint checks (every
+    /// `PoolStore` load, every engine save) cost a field read.
+    pub fn content_hash(&self) -> u64 {
+        *self.content_digest.get_or_init(|| {
+            let mut h = Fnv64::new();
+            h.write_u32(self.num_nodes());
+            h.write_u64(self.num_arcs());
+            for (u, v, w) in self.arcs() {
+                h.write_u32(u);
+                h.write_u32(v);
+                h.write_u32(w.to_bits());
+            }
+            h.finish()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GraphBuilder, WeightModel};
+
+    #[test]
+    fn chunking_does_not_change_the_digest() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        let whole = fnv64(&data);
+        for split in [1usize, 3, 7, 8, 9, 64, 999] {
+            let mut h = Fnv64::new();
+            for chunk in data.chunks(split) {
+                h.write(chunk);
+            }
+            assert_eq!(h.finish(), whole, "split {split}");
+        }
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_digest() {
+        let data: Vec<u8> = (0..64u8).collect();
+        let base = fnv64(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut flipped = data.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(fnv64(&flipped), base, "flip at byte {byte} bit {bit} undetected");
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_and_zero_padding_change_the_digest() {
+        let data = vec![0xAAu8; 24];
+        assert_ne!(fnv64(&data[..23]), fnv64(&data));
+        // trailing zeros are not absorbed by the padded tail word
+        let mut padded = data.clone();
+        padded.push(0);
+        assert_ne!(fnv64(&padded), fnv64(&data));
+        assert_ne!(fnv64(&[]), fnv64(&[0]));
+    }
+
+    #[test]
+    fn graph_hash_tracks_content() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1, 0.5);
+        b.add_edge(1, 2, 0.25);
+        let g = b.clone().build(WeightModel::Provided).unwrap();
+        let same = b.clone().build(WeightModel::Provided).unwrap();
+        assert_eq!(g.content_hash(), same.content_hash());
+
+        // a changed weight changes the hash
+        let mut b2 = GraphBuilder::new();
+        b2.add_edge(0, 1, 0.5);
+        b2.add_edge(1, 2, 0.125);
+        let g2 = b2.build(WeightModel::Provided).unwrap();
+        assert_ne!(g.content_hash(), g2.content_hash());
+
+        // extra isolated nodes change the hash (n is part of the content)
+        b.set_num_nodes(10);
+        let g3 = b.build(WeightModel::Provided).unwrap();
+        assert_ne!(g.content_hash(), g3.content_hash());
+    }
+}

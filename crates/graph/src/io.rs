@@ -11,6 +11,13 @@ use crate::{Graph, GraphBuilder, GraphError, WeightModel};
 const MAGIC: &[u8; 4] = b"SNSG";
 /// Current binary format version.
 const VERSION: u32 = 1;
+/// Hard cap on the header's declared arc count (2^40 ≈ 1.1 T arcs, an
+/// order of magnitude past the paper's largest network). A corrupt
+/// 8-byte count field can therefore never demand an absurd allocation.
+const MAX_ARCS: u64 = 1 << 40;
+/// Arcs preallocated up front; a header lying about `m` past this costs
+/// incremental growth, not a multi-GiB `with_capacity`.
+const PREALLOC_ARCS: u64 = 1 << 20;
 
 /// Parses a SNAP-style text edge list: one `from to [weight]` triple per
 /// line, `#` / `%` comment lines and blank lines ignored.
@@ -124,10 +131,17 @@ pub fn read_binary<R: Read>(reader: R) -> Result<Graph, GraphError> {
     }
     let n = read_u32(&mut r)?;
     let m = read_u64(&mut r)?;
-    let mut builder = GraphBuilder::with_capacity(m as usize);
     if n == 0 {
         return Err(GraphError::BadFormat("zero nodes".into()));
     }
+    // Sanity-bound the header counts before any allocation: `m` is
+    // attacker/corruption-controlled 8 bytes, so cap it and preallocate
+    // conservatively — a truncated stream then fails on read_exact after
+    // at most PREALLOC_ARCS worth of memory, not in the allocator.
+    if m > MAX_ARCS {
+        return Err(GraphError::BadFormat(format!("header declares {m} arcs (cap {MAX_ARCS})")));
+    }
+    let mut builder = GraphBuilder::with_capacity(m.min(PREALLOC_ARCS) as usize);
     builder.set_num_nodes(n);
     // Self-loops and duplicates were already resolved when the source
     // graph was built; keep the bytes as-is.
@@ -251,5 +265,47 @@ mod tests {
         write_binary(&g, &mut buf).unwrap();
         buf.truncate(buf.len() - 3);
         assert!(read_binary(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn binary_rejects_oversized_header_counts_without_allocating() {
+        // a corrupt count field must hit the cap check, not the allocator
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&10u32.to_le_bytes()); // n
+        buf.extend_from_slice(&u64::MAX.to_le_bytes()); // m: absurd
+        match read_binary(&buf[..]) {
+            Err(GraphError::BadFormat(msg)) => assert!(msg.contains("cap"), "{msg}"),
+            other => panic!("expected BadFormat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn binary_header_overclaiming_arcs_fails_on_truncation_not_memory() {
+        // m lies high but under the cap: the read must fail cleanly when
+        // the stream runs out, after bounded preallocation
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&3u32.to_le_bytes()); // n
+        buf.extend_from_slice(&1_000_000u64.to_le_bytes()); // m: overclaimed
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&0.5f32.to_le_bytes()); // ... but only 1 arc present
+        assert!(read_binary(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn binary_rejects_truncation_inside_the_header() {
+        // cut at every header section boundary: magic, version, n, m
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1, 0.5);
+        let g = b.build(WeightModel::Provided).unwrap();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        for cut in [0, 2, 4, 6, 8, 10, 12, 16] {
+            assert!(read_binary(&buf[..cut]).is_err(), "cut at {cut} accepted");
+        }
     }
 }

@@ -48,6 +48,7 @@ mod builder;
 mod csr;
 mod error;
 pub mod gen;
+pub mod hash;
 pub mod io;
 mod stats;
 mod transform;
@@ -57,6 +58,7 @@ pub use alias::AliasTable;
 pub use builder::{DedupPolicy, GraphBuilder};
 pub use csr::{Graph, InEdgeIter, OutEdgeIter};
 pub use error::GraphError;
+pub use hash::{fnv64, Fnv64};
 pub use stats::{largest_weak_component, DegreeHistogram, GraphStats};
 pub use transform::{induced_subgraph, transpose};
 pub use weights::WeightModel;

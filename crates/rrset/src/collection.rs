@@ -59,6 +59,13 @@ pub struct RrCollection {
     index: TwoTierIndex,
     /// Total in-edges examined while sampling all pooled sets.
     total_edges_examined: u64,
+    /// Cumulative `total_edges_examined` frozen at each sealed epoch
+    /// boundary, parallel to [`RrCollection::epoch_boundaries`]. A seal
+    /// always covers the whole arena, so the entry for a boundary is the
+    /// pool total at the moment that boundary was recorded. The store
+    /// serializes per-epoch deltas of this so a recovered prefix restores
+    /// the exact sampling-cost accounting of its sets.
+    epoch_edges: Vec<u64>,
 }
 
 impl RrCollection {
@@ -70,6 +77,7 @@ impl RrCollection {
             offsets: vec![0],
             index: TwoTierIndex::new(n),
             total_edges_examined: 0,
+            epoch_edges: Vec::new(),
         }
     }
 
@@ -178,6 +186,61 @@ impl RrCollection {
     #[inline]
     fn reindex(&mut self, threads: usize) {
         self.index.index_tail(&self.data, &self.offsets, threads);
+        self.sync_epoch_edges();
+    }
+
+    /// Freezes the cumulative sampling cost of any epoch boundary the
+    /// last index operation recorded. A seal covers the entire arena, so
+    /// the current total *is* the new boundary's total; called after
+    /// every operation that can compact (threshold seals included).
+    fn sync_epoch_edges(&mut self) {
+        while self.epoch_edges.len() < self.index.epoch_bounds().len() {
+            self.epoch_edges.push(self.total_edges_examined);
+        }
+    }
+
+    /// Cumulative `total_edges_examined` at each sealed epoch boundary,
+    /// parallel to [`RrCollection::epoch_boundaries`]. The store derives
+    /// per-epoch deltas from this.
+    pub(crate) fn epoch_edge_totals(&self) -> &[u64] {
+        &self.epoch_edges
+    }
+
+    /// Restores one sealed epoch from its serialized form: appends the
+    /// epoch's arena slice verbatim (`set_ends` are the per-set end
+    /// offsets rebased to the epoch start, leading 0 implicit), accounts
+    /// its sampling cost, and seals exactly one new epoch. Appending the
+    /// whole epoch before sealing — instead of replaying `push` per set —
+    /// is what guarantees the restored pool's epoch boundaries match the
+    /// saved ones bit-for-bit (per-set pushes would cross the threshold
+    /// compaction at different points).
+    pub(crate) fn restore_sealed_epoch(
+        &mut self,
+        data: &[NodeId],
+        set_ends: &[u64],
+        edges_delta: u64,
+        threads: usize,
+    ) {
+        let base = self.data.len() as u64;
+        self.data.extend_from_slice(data);
+        self.offsets.extend(set_ends.iter().map(|&e| base + e));
+        self.total_edges_examined += edges_delta;
+        self.seal_parallel(threads);
+    }
+
+    /// Test-only drift hooks for the save-time metadata guard: desync the
+    /// arena offsets / the per-epoch edge totals the way a bookkeeping
+    /// bug would, so tests can prove the guard turns the mismatch into a
+    /// typed error instead of serializing garbage.
+    #[cfg(test)]
+    pub(crate) fn corrupt_last_offset_for_test(&mut self) {
+        *self.offsets.last_mut().expect("offsets non-empty") += 1;
+    }
+
+    /// See [`RrCollection::corrupt_last_offset_for_test`].
+    #[cfg(test)]
+    pub(crate) fn truncate_epoch_edges_for_test(&mut self) {
+        self.epoch_edges.pop();
     }
 
     /// Appends one sampled set.
@@ -202,6 +265,7 @@ impl RrCollection {
             return;
         }
         self.index.compact(&self.data, &self.offsets, threads);
+        self.sync_epoch_edges();
     }
 
     /// Grows the pool with samples `from_index .. from_index + count` from
@@ -309,7 +373,7 @@ impl RrCollection {
     pub fn memory_bytes(&self) -> u64 {
         use std::mem::size_of;
         let arena = self.data.capacity() * size_of::<NodeId>();
-        let offsets = self.offsets.capacity() * size_of::<u64>();
+        let offsets = (self.offsets.capacity() + self.epoch_edges.capacity()) * size_of::<u64>();
         (arena + offsets) as u64 + self.index.memory_bytes()
     }
 

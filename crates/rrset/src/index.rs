@@ -308,10 +308,16 @@ impl TwoTierIndex {
         let n = self.n as usize;
         let total_sets = offsets.len() - 1;
         let entries = data.len();
+        // Clamp to real hardware parallelism: the scatter pass streams
+        // the whole arena once *per worker* (cheap next to its random
+        // writes when workers run concurrently), so oversubscribing a
+        // small machine turns that read amplification into pure serial
+        // overhead. The result is worker-count-invariant either way.
+        let hw = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
         let workers = if threads <= 1 || entries < PARALLEL_COMPACT_MIN_ENTRIES {
             1
         } else {
-            threads.min(total_sets.max(1))
+            threads.min(hw).min(total_sets.max(1))
         };
 
         // Pass 1 — per-chunk node histograms (workers own contiguous

@@ -41,6 +41,7 @@ mod coverage;
 mod greedy;
 mod index;
 mod snapshot;
+pub mod store;
 
 pub use bucket::max_coverage_bucket;
 pub use collection::RrCollection;
@@ -50,3 +51,4 @@ pub use greedy::{
 };
 pub use index::SetIds;
 pub use snapshot::{GainSnapshot, WeightedCoverageResult, WeightedGainSnapshot};
+pub use store::{PoolStore, Recovery, SaveStats, StoreError, StoreFingerprint};

@@ -56,8 +56,9 @@ pub use sns_rrset as rrset;
 pub use sns_tvm as tvm;
 
 pub use sns_core::{
-    Certificate, Dssa, DssaIteration, Params, RunResult, SamplingContext, SeedAnswer, SeedQuery,
-    SeedQueryEngine, Ssa, SsaEpsilons, StopCondition, StoppingRule,
+    Certificate, Dssa, DssaIteration, Params, PoolStore, Recovery, RunResult, SamplingContext,
+    SaveStats, SeedAnswer, SeedQuery, SeedQueryEngine, Ssa, SsaEpsilons, StopCondition,
+    StoppingRule, StoreError, StoreFingerprint,
 };
 pub use sns_diffusion::{Model, SpreadEstimator};
 pub use sns_graph::{Graph, GraphBuilder, WeightModel};
