@@ -6,7 +6,9 @@
 //! [`GainSnapshot`], memcpy'd gains) vs `max_coverage_with` (per-call
 //! histogram + heap-seed rebuild) — full pool and a D-SSA-style half
 //! range; (b) the one-off snapshot build cost the fast path amortizes;
-//! (c) a heterogeneous 16-query batch at 1 and 4 worker threads; and
+//! (c) a heterogeneous 16-query batch at 1 and 4 worker threads — raw
+//! `answer_batch` fan-out vs the batch planner (`answer_planned`, which
+//! groups the 16 queries into 2 shared snapshot resolutions); and
 //! (d) a weighted (TVM root weights) query through the topic-keyed
 //! frozen-gain cache vs the per-call weighted init pass.
 //!
@@ -19,9 +21,12 @@
 //! Results land in `BENCH_query_engine.json` (shared `BENCH_*.json`
 //! schema) together with deterministic `counters` the warn-only
 //! `bench_diff` CI step tracks: the algorithm sample counts
-//! (`sns_bench::sample_counts`) plus the cache hit/miss/evict counters
-//! of a fixed grow-while-serving query script (criterion iteration
-//! counts never touch these — the script runs exactly once).
+//! (`sns_bench::sample_counts`), the cache hit/miss/evict counters
+//! of a fixed grow-while-serving query script, and the traffic
+//! simulator's admission/planner counters (criterion iteration counts
+//! never touch these — each script runs exactly once). The simulator's
+//! wall-clock side — p50/p99 service latency, queries/sec — is written
+//! as the first-class `"serving"` object, report-only.
 
 use std::time::Duration;
 
@@ -85,6 +90,21 @@ fn bench_queries(c: &mut Criterion, engine: &SeedQueryEngine, threaded: &SeedQue
     });
     group.bench_with_input(BenchmarkId::new("batch-16", "4-threads"), &batch, |b, batch| {
         b.iter(|| threaded.answer_batch(batch).expect("valid batch").len())
+    });
+
+    // The same heterogeneous batch through the planner: 16 queries over
+    // 2 distinct ranges collapse to 2 snapshot resolutions instead of
+    // up to 16. Bit-identity to the unplanned path is the contract.
+    assert_eq!(
+        engine.answer_planned(&batch).expect("valid batch"),
+        engine.answer_batch(&batch).expect("valid batch"),
+        "planned answers must be bit-identical to answer_batch"
+    );
+    group.bench_with_input(BenchmarkId::new("planned-16", "1-thread"), &batch, |b, batch| {
+        b.iter(|| engine.answer_planned(batch).expect("valid batch").len())
+    });
+    group.bench_with_input(BenchmarkId::new("planned-16", "4-threads"), &batch, |b, batch| {
+        b.iter(|| threaded.answer_planned(batch).expect("valid batch").len())
     });
 
     // Weighted query, uncached: per-query gain pass, no snapshot.
@@ -262,13 +282,31 @@ fn main() {
     bench_grow_while_serving(&mut c);
     let speedup = bench_store(&mut c);
     if !test_mode {
-        // counters() includes the grow-while-serving cache script and the
-        // deterministic store-recovery outcome — see
-        // sns_bench::sample_counts. The load-vs-resample speedup is
-        // appended here (it needs the 100k-set pool this bench bakes)
-        // and diffed by bench_diff as a floor, not an exact value.
+        // The serving front end under deterministic skewed/bursty
+        // traffic: p50/p99 service latency and queries/sec become
+        // first-class (report-only) fields of the JSON snapshot, while
+        // the simulator's deterministic counters travel inside
+        // "counters" (as traffic_sim_*, via sample_counts::counters)
+        // where bench_diff gates them exactly.
+        let traffic = sns_bench::traffic::simulate(&sns_bench::traffic::TrafficConfig::ci());
+        println!(
+            "serving: {} queries served, p50 {} ns, p99 {} ns, {:.0} queries/sec",
+            traffic.served, traffic.p50_service_ns, traffic.p99_service_ns, traffic.queries_per_sec
+        );
+        let serving = support::ServingSummary {
+            p50_service_ns: traffic.p50_service_ns,
+            p99_service_ns: traffic.p99_service_ns,
+            queries_per_sec: traffic.queries_per_sec,
+            served: traffic.served,
+        };
+        // counters() includes the grow-while-serving cache script, the
+        // deterministic store-recovery outcome and the traffic-simulator
+        // counters — see sns_bench::sample_counts. The load-vs-resample
+        // speedup is appended here (it needs the 100k-set pool this
+        // bench bakes) and diffed by bench_diff as a floor, not an
+        // exact value.
         let mut counters = sns_bench::sample_counts::counters();
         counters.push(("store_load_vs_resample_speedup", speedup));
-        support::write_bench_json_with_counters(&c, "BENCH_query_engine.json", &counters);
+        support::write_bench_json_full(&c, "BENCH_query_engine.json", &counters, Some(&serving));
     }
 }

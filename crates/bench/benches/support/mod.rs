@@ -45,6 +45,22 @@ pub fn write_bench_json(c: &Criterion, file_name: &str) {
     write_bench_json_with_counters(c, file_name, &[]);
 }
 
+/// First-class serving figures of one traffic-simulator run, written as
+/// the `"serving"` object of a `BENCH_*.json` snapshot: wall-clock
+/// p50/p99 service latency and throughput. Host-dependent by nature —
+/// `bench_diff` never gates them (the deterministic half of the
+/// simulator's output lives in `"counters"` as `traffic_sim_*`).
+pub struct ServingSummary {
+    /// Median wall-clock service latency per served query, ns.
+    pub p50_service_ns: u64,
+    /// 99th-percentile wall-clock service latency per served query, ns.
+    pub p99_service_ns: u64,
+    /// Served queries per second of engine service time.
+    pub queries_per_sec: f64,
+    /// Total queries served by the simulated front end.
+    pub served: u64,
+}
+
 /// [`write_bench_json`] with an extra `"counters"` object of named
 /// deterministic integers (e.g. algorithm sample counts) appended after
 /// the timing entries. Unlike the nanosecond fields, counters are
@@ -52,6 +68,20 @@ pub fn write_bench_json(c: &Criterion, file_name: &str) {
 /// compare them exactly against the checked-in baselines under
 /// `results/bench_baselines/`.
 pub fn write_bench_json_with_counters(c: &Criterion, file_name: &str, counters: &[(&str, u64)]) {
+    write_bench_json_full(c, file_name, counters, None);
+}
+
+/// [`write_bench_json_with_counters`] plus an optional `"serving"`
+/// object ([`ServingSummary`]). The serving object is written *after*
+/// `"counters"` — `bench_diff` parses counters line-by-line up to the
+/// first closing brace, so report-only latency fields must never appear
+/// inside that section.
+pub fn write_bench_json_full(
+    c: &Criterion,
+    file_name: &str,
+    counters: &[(&str, u64)],
+    serving: Option<&ServingSummary>,
+) {
     let manifest = env!("CARGO_MANIFEST_DIR");
     let path = std::path::Path::new(manifest)
         .ancestors()
@@ -73,6 +103,14 @@ pub fn write_bench_json_with_counters(c: &Criterion, file_name: &str, counters: 
             let sep = if i + 1 == counters.len() { "" } else { "," };
             out.push_str(&format!("    \"{name}\": {value}{sep}\n"));
         }
+        out.push_str("  },\n");
+    }
+    if let Some(s) = serving {
+        out.push_str("  \"serving\": {\n");
+        out.push_str(&format!("    \"p50_service_ns\": {},\n", s.p50_service_ns));
+        out.push_str(&format!("    \"p99_service_ns\": {},\n", s.p99_service_ns));
+        out.push_str(&format!("    \"queries_per_sec\": {:.1},\n", s.queries_per_sec));
+        out.push_str(&format!("    \"served\": {}\n", s.served));
         out.push_str("  },\n");
     }
     let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);

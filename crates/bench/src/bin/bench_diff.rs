@@ -2,15 +2,21 @@
 //!
 //! Timing numbers drift with hardware, but the `"counters"` fields of
 //! the `BENCH_*.json` snapshots (algorithm RR-set totals on fixed
-//! fixtures, under both stopping rules) are deterministic: seeded RNG
-//! streams, thread-invariant pools. This binary recomputes them from
-//! scratch ([`sns_bench::sample_counts::counters`]) and diffs them — and
+//! fixtures, under both stopping rules, plus the serving front end's
+//! `traffic_sim_*` admission/planner counters) are deterministic:
+//! seeded RNG streams, thread-invariant pools, virtual-clock admission.
+//! This binary recomputes them from scratch
+//! ([`sns_bench::sample_counts::counters`]) and diffs them — and
 //! any counters found in checked-in `BENCH_*.json` snapshots — against
 //! the baseline file `results/bench_baselines/sample_counts.json`.
 //! Counters named `*_speedup` (e.g. the pool-store load-vs-resample
 //! ratio) are timing-derived **floors**: they pass at or above their
 //! baselined minimum, fail loudly below it, and `--write` carries the
 //! floor over instead of overwriting it with a local measurement.
+//! Wall-clock serving figures (the `"serving"` object of
+//! `BENCH_query_engine.json` — p50/p99 latency, queries/sec) are
+//! deliberately **outside** the `"counters"` section and never diffed:
+//! the CI container has one CPU and latency there means nothing.
 //!
 //! Any mismatch prints a GitHub-annotation warning, lands in the
 //! workflow's step summary as an expected-vs-realized table

@@ -35,3 +35,4 @@ pub mod datasets;
 pub mod experiments;
 pub mod report;
 pub mod sample_counts;
+pub mod traffic;

@@ -101,6 +101,17 @@ pub fn store_counters() -> Vec<(&'static str, u64)> {
     ]
 }
 
+/// Serving-front-end counters of the fixed CI traffic scenario
+/// ([`crate::traffic::TrafficConfig::ci`]): arrivals, serves, typed
+/// rejects, expiries, planner groups, snapshot resolutions saved and
+/// virtual-clock sojourn percentiles. Deterministic by construction —
+/// admission and planning run on the virtual cost clock before any
+/// parallel execution — so `bench_diff` can track them exactly while
+/// wall-clock latency stays report-only.
+pub fn traffic_counters() -> Vec<(&'static str, u64)> {
+    crate::traffic::simulate(&crate::traffic::TrafficConfig::ci()).counters
+}
+
 /// The tracked `(name, value)` counters, recomputed from scratch
 /// (seconds of work; all streams seeded). Names are stable — `bench_diff`
 /// treats a missing baseline entry as "new counter, record it".
@@ -141,6 +152,7 @@ pub fn counters() -> Vec<(&'static str, u64)> {
     ];
     out.extend(serving_counters());
     out.extend(store_counters());
+    out.extend(traffic_counters());
     out
 }
 
@@ -157,6 +169,7 @@ mod tests {
         // legitimately be zero (the script provokes no evictions)
         assert!(a.iter().filter(|(name, _)| name.ends_with("rr_sets_total")).all(|&(_, v)| v > 0));
         assert!(a.iter().any(|(name, v)| name.starts_with("query_engine_grow") && *v > 0));
+        assert!(a.iter().any(|(name, v)| name.starts_with("traffic_sim") && *v > 0));
         // one bit flipped in the last of 4 epochs: 3 kept, 1 lost
         assert!(a.contains(&("store_recovered_epochs", 3)));
         assert!(a.contains(&("store_lost_epochs", 1)));

@@ -1,0 +1,60 @@
+//! Determinism gates for the serving traffic simulator — the tests the
+//! CI `serving` job runs twice in release mode and diffs. Everything
+//! asserted here must hold on any host at any thread count: the gated
+//! counters are pure functions of the [`TrafficConfig`], never of the
+//! wall clock or the scheduler.
+
+use sns_bench::traffic::{simulate, TrafficConfig};
+
+#[test]
+fn ci_scenario_counters_are_reproducible_across_runs() {
+    let cfg = TrafficConfig::ci();
+    let a = simulate(&cfg);
+    let b = simulate(&cfg);
+    assert_eq!(a.counters, b.counters, "same config must replay byte-identically");
+
+    let get = |name: &str| {
+        a.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .unwrap_or_else(|| panic!("missing counter {name}"))
+            .1
+    };
+    // The CI scenario must actually exercise the front end: queries are
+    // served, bursts overflow the queue, deadlines reject, the planner
+    // shares snapshot resolutions and the pool grows mid-serving.
+    assert!(get("traffic_sim_served") > 0);
+    assert!(get("traffic_sim_rejected_queue_full") > 0, "{:?}", a.counters);
+    assert!(get("traffic_sim_rejected_deadline") > 0, "{:?}", a.counters);
+    assert!(get("traffic_sim_builds_saved") > 0, "{:?}", a.counters);
+    assert!(get("traffic_sim_planner_groups") > 0);
+    assert_eq!(get("traffic_sim_growths"), 2);
+    // Conservation: every arrival is served, rejected, expired or still
+    // queued at the end — nothing is lost or double-counted.
+    assert_eq!(
+        get("traffic_sim_arrivals"),
+        get("traffic_sim_served")
+            + get("traffic_sim_rejected_queue_full")
+            + get("traffic_sim_rejected_deadline")
+            + get("traffic_sim_expired")
+            + get("traffic_sim_left_queued"),
+        "{:?}",
+        a.counters
+    );
+}
+
+#[test]
+fn counters_are_invariant_to_engine_thread_count() {
+    let single = simulate(&TrafficConfig::ci());
+    let four = simulate(&TrafficConfig { threads: 4, ..TrafficConfig::ci() });
+    assert_eq!(single.counters, four.counters, "gated counters must not depend on threads");
+}
+
+#[test]
+fn planned_answers_match_unplanned_under_traffic() {
+    // verify: true cross-checks every planned batch against
+    // answer_batch inside simulate(); a divergence panics there.
+    let cfg = TrafficConfig { steps: 12, verify: true, ..TrafficConfig::ci() };
+    let report = simulate(&cfg);
+    assert!(report.served > 0);
+}

@@ -54,6 +54,7 @@ use sns_rrset::{
     SeedConstraints, StoreFingerprint, WeightedGainSnapshot,
 };
 
+use crate::planner::{BatchPlan, GroupKey, PlanGroup};
 use crate::{CoreError, RunResult, SamplingContext};
 
 /// One seed-selection question against a frozen pool. Construct with
@@ -178,6 +179,15 @@ pub struct QueryStats {
     pub cached_bytes: u64,
     /// The configured cache byte budget.
     pub budget_bytes: u64,
+    /// Batches executed through the planner
+    /// ([`SeedQueryEngine::answer_planned`]).
+    pub planned_batches: u64,
+    /// Planner groups formed across all planned batches (one snapshot
+    /// resolution each).
+    pub planner_groups: u64,
+    /// Snapshot resolutions saved by grouping: queries beyond the first
+    /// of their group ([`crate::planner::BatchPlan::builds_saved`]).
+    pub planner_builds_saved: u64,
 }
 
 /// Key of one snapshot-cache entry.
@@ -556,6 +566,11 @@ impl SeedQueryEngine {
     /// answer depends only on the frozen pool and its query). The whole
     /// batch is validated before any work starts.
     pub fn answer_batch(&self, queries: &[SeedQuery]) -> Result<Vec<SeedAnswer>, CoreError> {
+        // An empty batch has nothing to validate, plan, or snapshot:
+        // return without touching the cache or spawning workers.
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
         for (i, q) in queries.iter().enumerate() {
             self.validate(q).map_err(|e| CoreError::InvalidParams(format!("query {i}: {e}")))?;
         }
@@ -580,6 +595,110 @@ impl SeedQueryEngine {
             }
         });
         Ok(slots.into_iter().map(|s| s.into_inner().expect("all queries answered")).collect())
+    }
+
+    /// Answers a batch through the batch planner: queries are grouped by
+    /// the snapshot they need ([`crate::planner::BatchPlan`] — the pool
+    /// range for plain queries, `(range, topic)` for topic-weighted
+    /// ones) and each group resolves its snapshot **exactly once**,
+    /// shared by every member. Answers are bit-identical to
+    /// [`SeedQueryEngine::answer_batch`] on the same input
+    /// (property-tested): planning changes who pays for a snapshot
+    /// resolution, never the answer. Workers parallelize across
+    /// *groups*, so the win condition is skewed traffic — many queries
+    /// over few distinct (range, topic) keys — exactly what production
+    /// batches look like. The plan's group and sharing counts are
+    /// recorded in [`QueryStats`].
+    pub fn answer_planned(&self, queries: &[SeedQuery]) -> Result<Vec<SeedAnswer>, CoreError> {
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        for (i, q) in queries.iter().enumerate() {
+            self.validate(q).map_err(|e| CoreError::InvalidParams(format!("query {i}: {e}")))?;
+        }
+        let plan = BatchPlan::build(queries, self.pool.len() as u32);
+        {
+            let mut cache = self.lock_cache();
+            cache.stats.planned_batches += 1;
+            cache.stats.planner_groups += plan.num_groups() as u64;
+            cache.stats.planner_builds_saved += plan.builds_saved();
+        }
+        let groups = plan.groups();
+        let slots: Vec<OnceLock<SeedAnswer>> = queries.iter().map(|_| OnceLock::new()).collect();
+        let workers = self.threads.min(groups.len()).max(1);
+        if workers == 1 {
+            let mut scratch = GreedyScratch::new();
+            for group in groups {
+                self.answer_group(queries, group, &mut scratch, &slots);
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| {
+                        let mut scratch = GreedyScratch::new();
+                        loop {
+                            let g = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(group) = groups.get(g) else { break };
+                            self.answer_group(queries, group, &mut scratch, &slots);
+                        }
+                    });
+                }
+            });
+        }
+        Ok(slots.into_iter().map(|s| s.into_inner().expect("all queries answered")).collect())
+    }
+
+    /// Executes one plan group: resolves the shared snapshot once, then
+    /// answers every member against it. Members of a topic group whose
+    /// weight vector is not the very `Arc` the group resolved with (a
+    /// same-topic-different-weights contract breach) fall back to the
+    /// per-query path — degraded sharing, never a wrong answer.
+    fn answer_group(
+        &self,
+        queries: &[SeedQuery],
+        group: &PlanGroup,
+        scratch: &mut GreedyScratch,
+        slots: &[OnceLock<SeedAnswer>],
+    ) {
+        let set = |i: usize, answer: SeedAnswer| {
+            slots[i].set(answer).expect("each query index answered once");
+        };
+        match group.key {
+            GroupKey::Plain { start, end } => {
+                let range = start..end;
+                let snapshot = self.snapshot_for(&range);
+                for &i in &group.members {
+                    set(i, self.answer_plain_with(&queries[i], &range, &snapshot, scratch));
+                }
+            }
+            GroupKey::Topic { start, end, topic } => {
+                let range = start..end;
+                let shared = queries[group.members[0]]
+                    .root_weights
+                    .as_ref()
+                    .expect("topic groups imply root weights");
+                let snapshot = self.weighted_snapshot_for(&range, topic, shared);
+                for &i in &group.members {
+                    let query = &queries[i];
+                    let same_arc =
+                        query.root_weights.as_ref().is_some_and(|w| Arc::ptr_eq(w, shared));
+                    if same_arc {
+                        set(
+                            i,
+                            self.answer_weighted_with(query, &range, &snapshot, shared, scratch),
+                        );
+                    } else {
+                        set(i, self.answer_validated(query, scratch));
+                    }
+                }
+            }
+            GroupKey::Solo { .. } => {
+                for &i in &group.members {
+                    set(i, self.answer_validated(&queries[i], scratch));
+                }
+            }
+        }
     }
 
     fn validate(&self, query: &SeedQuery) -> Result<(), CoreError> {
@@ -630,30 +749,23 @@ impl SeedQueryEngine {
     /// relies on.
     fn answer_validated(&self, query: &SeedQuery, scratch: &mut GreedyScratch) -> SeedAnswer {
         let range = query.range.clone().unwrap_or(0..self.pool.len() as u32);
-        let len = (range.end - range.start) as u64;
-        let constraints = SeedConstraints { forced: &query.forced, excluded: &query.excluded };
-        match &query.root_weights {
-            Some(weights) => {
-                let r = match query.topic {
-                    Some(topic) => {
-                        // Repeated-topic fast path: frozen weighted gains
-                        // + frozen offsets, zero per-query init passes.
-                        let snapshot = self.weighted_snapshot_for(&range, topic, weights);
-                        snapshot.view(&self.pool).select_weighted_from_snapshot(
-                            &snapshot,
-                            query.k,
-                            weights,
-                            &constraints,
-                            scratch,
-                        )
-                    }
-                    None => CoverageView::build(&self.pool, range.clone()).select_weighted(
-                        query.k,
-                        weights,
-                        &constraints,
-                        scratch,
-                    ),
-                };
+        match (&query.root_weights, query.topic) {
+            (Some(weights), Some(topic)) => {
+                // Repeated-topic fast path: frozen weighted gains
+                // + frozen offsets, zero per-query init passes.
+                let snapshot = self.weighted_snapshot_for(&range, topic, weights);
+                self.answer_weighted_with(query, &range, &snapshot, weights, scratch)
+            }
+            (Some(weights), None) => {
+                let len = (range.end - range.start) as u64;
+                let constraints =
+                    SeedConstraints { forced: &query.forced, excluded: &query.excluded };
+                let r = CoverageView::build(&self.pool, range.clone()).select_weighted(
+                    query.k,
+                    weights,
+                    &constraints,
+                    scratch,
+                );
                 let influence =
                     if len == 0 { 0.0 } else { self.gamma * r.covered_weight / len as f64 };
                 SeedAnswer {
@@ -664,25 +776,71 @@ impl SeedQueryEngine {
                     range,
                 }
             }
-            None => {
+            (None, _) => {
                 let snapshot = self.snapshot_for(&range);
-                // The snapshot lends its frozen offsets: a cache hit
-                // skips the O(range_len) view rebase too.
-                let r = snapshot.view(&self.pool).select_from_snapshot_constrained(
-                    &snapshot,
-                    query.k,
-                    &constraints,
-                    scratch,
-                );
-                let influence = r.influence_estimate(self.gamma, len);
-                SeedAnswer {
-                    seeds: r.seeds,
-                    covered: r.covered as f64,
-                    influence_estimate: influence,
-                    marginal_gains: r.marginal_gains.iter().map(|&g| g as f64).collect(),
-                    range,
-                }
+                self.answer_plain_with(query, &range, &snapshot, scratch)
             }
+        }
+    }
+
+    /// Answers a pre-validated unweighted query against an
+    /// already-resolved plain snapshot of `range` — the shared tail of
+    /// the per-query path and the planner's group execution. The
+    /// snapshot lends its frozen offsets: a cache hit skips the
+    /// O(range_len) view rebase too.
+    fn answer_plain_with(
+        &self,
+        query: &SeedQuery,
+        range: &Range<u32>,
+        snapshot: &GainSnapshot,
+        scratch: &mut GreedyScratch,
+    ) -> SeedAnswer {
+        let len = (range.end - range.start) as u64;
+        let constraints = SeedConstraints { forced: &query.forced, excluded: &query.excluded };
+        let r = snapshot.view(&self.pool).select_from_snapshot_constrained(
+            snapshot,
+            query.k,
+            &constraints,
+            scratch,
+        );
+        let influence = r.influence_estimate(self.gamma, len);
+        SeedAnswer {
+            seeds: r.seeds,
+            covered: r.covered as f64,
+            influence_estimate: influence,
+            marginal_gains: r.marginal_gains.iter().map(|&g| g as f64).collect(),
+            range: range.clone(),
+        }
+    }
+
+    /// Answers a pre-validated topic-weighted query against an
+    /// already-resolved weighted snapshot of `range`. `weights` must be
+    /// the very vector the snapshot was resolved with (the callers
+    /// guarantee it by `Arc` identity).
+    fn answer_weighted_with(
+        &self,
+        query: &SeedQuery,
+        range: &Range<u32>,
+        snapshot: &WeightedGainSnapshot,
+        weights: &Arc<[f64]>,
+        scratch: &mut GreedyScratch,
+    ) -> SeedAnswer {
+        let len = (range.end - range.start) as u64;
+        let constraints = SeedConstraints { forced: &query.forced, excluded: &query.excluded };
+        let r = snapshot.view(&self.pool).select_weighted_from_snapshot(
+            snapshot,
+            query.k,
+            weights,
+            &constraints,
+            scratch,
+        );
+        let influence = if len == 0 { 0.0 } else { self.gamma * r.covered_weight / len as f64 };
+        SeedAnswer {
+            seeds: r.seeds,
+            covered: r.covered_weight,
+            influence_estimate: influence,
+            marginal_gains: r.marginal_gains,
+            range: range.clone(),
         }
     }
 
@@ -914,6 +1072,81 @@ mod tests {
         let s = e.stats();
         assert_eq!(s.snapshot_hits, hits_before + 1, "extension must not invalidate old epochs");
         assert_eq!(s.epochs_frozen, 1);
+    }
+
+    #[test]
+    fn empty_batch_returns_empty_without_touching_the_engine() {
+        let e = engine(400, 12);
+        let before = e.stats();
+        assert_eq!(e.answer_batch(&[]).unwrap(), Vec::new());
+        assert_eq!(e.answer_planned(&[]).unwrap(), Vec::new());
+        // no cache traffic, no planner accounting, no snapshot builds
+        assert_eq!(e.stats(), before);
+        assert_eq!(before.snapshot_misses, 0);
+        assert_eq!(before.planned_batches, 0);
+    }
+
+    #[test]
+    fn planned_batch_matches_unplanned_and_counts_groups() {
+        let e = engine(2000, 20);
+        // 9 queries over 3 distinct plain keys: full ×3, 0..1000 ×4,
+        // 500..1500 ×2 — plus constraint variations inside a group.
+        let batch = vec![
+            SeedQuery::top_k(3),
+            SeedQuery::top_k(5).over_range(0..1000),
+            SeedQuery::top_k(7),
+            SeedQuery::top_k(4).over_range(0..1000).with_excluded(vec![2]),
+            SeedQuery::top_k(2).over_range(500..1500),
+            SeedQuery::top_k(6).over_range(0..1000).with_forced(vec![1]),
+            SeedQuery::top_k(9),
+            SeedQuery::top_k(1).over_range(0..1000),
+            SeedQuery::top_k(8).over_range(500..1500),
+        ];
+        let unplanned = e.answer_batch(&batch).unwrap();
+        let after_unplanned = e.stats();
+        assert_eq!(
+            (after_unplanned.snapshot_hits, after_unplanned.snapshot_misses),
+            (6, 3),
+            "unplanned: every query pays its own lookup"
+        );
+        let planned = e.answer_planned(&batch).unwrap();
+        assert_eq!(planned, unplanned);
+        let s = e.stats();
+        assert_eq!(s.planned_batches, 1);
+        assert_eq!(s.planner_groups, 3);
+        assert_eq!(s.planner_builds_saved, 6, "9 queries over 3 shared snapshots");
+        // the planned pass resolved each snapshot once: 3 lookups total
+        // (all hits — the unplanned pass populated the cache), not 9
+        assert_eq!(s.snapshot_hits - after_unplanned.snapshot_hits, 3, "{s:?}");
+        assert_eq!(s.snapshot_misses, after_unplanned.snapshot_misses);
+        // planned execution is thread-invariant too
+        let planned4 = engine(2000, 20).with_threads(4).answer_planned(&batch).unwrap();
+        assert_eq!(planned4, unplanned);
+    }
+
+    #[test]
+    fn planned_topic_groups_share_and_breaches_degrade_gracefully() {
+        let e = engine(1500, 21);
+        let weights: Arc<[f64]> = (0..300).map(|v| if v % 3 == 0 { 2.0 } else { 0.0 }).collect();
+        let same_topic_other_arc: Arc<[f64]> = weights.to_vec().into();
+        let batch = vec![
+            SeedQuery::top_k(4).with_root_weights(weights.clone()).with_topic(5),
+            SeedQuery::top_k(6).with_root_weights(weights.clone()).with_topic(5),
+            // same topic id, different Arc: the contract breach must fall
+            // back to the per-query path, never produce a wrong answer
+            SeedQuery::top_k(6).with_root_weights(same_topic_other_arc).with_topic(5),
+            // no topic id: a solo group, per-query weighted path
+            SeedQuery::top_k(4).with_root_weights(weights.clone()),
+        ];
+        let planned = e.answer_planned(&batch).unwrap();
+        let unplanned = e.answer_batch(&batch).unwrap();
+        assert_eq!(planned, unplanned);
+        assert_eq!(planned[1], e.answer(&batch[1]).unwrap());
+        let s = e.stats();
+        // groups: {topic 5} ×3 members + solo — builds saved only counts
+        // the shareable group's extra members
+        assert_eq!(s.planner_groups, 2);
+        assert_eq!(s.planner_builds_saved, 2);
     }
 
     #[test]

@@ -31,6 +31,11 @@
 //!   batches of heterogeneous [`SeedQuery`]s (varying `k`, id ranges,
 //!   forced/excluded seeds, per-query target weights) thread-parallel
 //!   and bit-identical to direct Max-Coverage calls.
+//! * [`planner`] — the serving front end in front of the engine: a
+//!   batch planner ([`BatchPlan`]) grouping queries by the snapshot
+//!   they share, and a bounded [`AdmissionQueue`] with priorities and
+//!   virtual-time deadlines that rejects with a typed [`RejectReason`]
+//!   instead of letting latency grow without bound.
 //!
 //! Both algorithms return `(1 − 1/e − ε)`-approximate seed sets with
 //! probability at least `1 − δ`.
@@ -59,6 +64,7 @@
 #![warn(missing_docs)]
 
 pub mod bounds;
+pub mod planner;
 
 mod context;
 mod dssa;
@@ -78,6 +84,9 @@ pub use error::CoreError;
 pub use estimate_inf::{estimate_inf, estimate_inf_with_sink, EstimateInfOutcome, EstimateScratch};
 pub use framework::{ris_fixed_pool, RisThresholds};
 pub use params::{Params, SsaEpsilons};
+pub use planner::{
+    AdmissionQueue, AdmissionStats, BatchPlan, GroupKey, Pending, PlanGroup, Priority, RejectReason,
+};
 pub use result::RunResult;
 pub use ssa::Ssa;
 

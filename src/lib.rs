@@ -56,7 +56,8 @@ pub use sns_rrset as rrset;
 pub use sns_tvm as tvm;
 
 pub use sns_core::{
-    Certificate, Dssa, DssaIteration, Params, PoolStore, Recovery, RunResult, SamplingContext,
+    AdmissionQueue, AdmissionStats, BatchPlan, Certificate, Dssa, DssaIteration, GroupKey, Params,
+    Pending, PlanGroup, PoolStore, Priority, Recovery, RejectReason, RunResult, SamplingContext,
     SaveStats, SeedAnswer, SeedQuery, SeedQueryEngine, Ssa, SsaEpsilons, StopCondition,
     StoppingRule, StoreError, StoreFingerprint,
 };

@@ -1,0 +1,121 @@
+//! Property test for the batch planner: planned/grouped execution is
+//! **bit-identical** to the per-query `answer_batch` path — across epoch
+//! layouts, shuffled batch orders, and worker thread counts.
+//!
+//! The planner's whole contract is that it only changes *who pays* for
+//! snapshot resolution, never the answers. This test generates random
+//! heterogeneous batches (mixed budgets, grouping-friendly skewed
+//! ranges, shared-topic and solo weighted queries), shuffles their order
+//! with a seeded RNG, and asserts exact equality of the full answer
+//! structs on four engines: the same 2400-set pool frozen in 1, 2, 3 and
+//! 4 epochs (the epoch-merge machinery must be invisible), each checked
+//! at 1 and 4 worker threads.
+
+use std::sync::{Arc, OnceLock};
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use stop_and_stare::graph::{gen, WeightModel};
+use stop_and_stare::{Model, SamplingContext, SeedQuery, SeedQueryEngine};
+
+const POOL_SETS: u64 = 2400;
+
+/// The same deterministic 2400-set pool frozen under four epoch
+/// layouts: [2400], [1200, 1200], [800 × 3], [600 × 4]. Sampling is
+/// indexed, so all four engines hold bit-identical pools — only the
+/// epoch boundaries (and with them the snapshot-merge paths) differ.
+fn engines() -> &'static Vec<(String, SeedQueryEngine, SeedQueryEngine)> {
+    static ENGINES: OnceLock<Vec<(String, SeedQueryEngine, SeedQueryEngine)>> = OnceLock::new();
+    ENGINES.get_or_init(|| {
+        let g = gen::erdos_renyi(400, 2400, 19).build(WeightModel::WeightedCascade).unwrap();
+        let ctx = SamplingContext::new(&g, Model::IndependentCascade).with_seed(29);
+        [1u64, 2, 3, 4]
+            .iter()
+            .map(|&epochs| {
+                let build = |threads: usize| {
+                    let per = POOL_SETS / epochs;
+                    let mut e = SeedQueryEngine::sample(&ctx, per).with_threads(threads);
+                    for _ in 1..epochs {
+                        e.extend(&ctx, per);
+                    }
+                    assert_eq!(e.pool().len() as u64, POOL_SETS);
+                    assert_eq!(e.pool().epoch_boundaries().len() as u64, epochs);
+                    e
+                };
+                (format!("{epochs}-epoch layout"), build(1), build(4))
+            })
+            .collect()
+    })
+}
+
+/// Shared topic weight vectors (two topics over 400 nodes). Shared
+/// `Arc`s with stable topic ids are what lets the planner form
+/// [`GroupKey::Topic`](stop_and_stare::GroupKey::Topic) groups.
+fn topic_weights(topic: usize) -> Arc<[f64]> {
+    static TOPICS: OnceLock<Vec<Arc<[f64]>>> = OnceLock::new();
+    TOPICS.get_or_init(|| {
+        (0..2)
+            .map(|t| {
+                (0..400).map(|v| if v % (3 + t) == 0 { 1.0 + t as f64 } else { 0.0 }).collect()
+            })
+            .collect()
+    })[topic]
+        .clone()
+}
+
+/// Decodes one generated query spec: budget, one of four skewed ranges,
+/// and a flavor — plain, one of two shared topics, or a solo weighted
+/// query (no topic id, so the planner must isolate it).
+fn decode(k: usize, range_pick: u32, flavor: u32) -> SeedQuery {
+    let total = POOL_SETS as u32;
+    let range = match range_pick {
+        0 => 0..total,
+        1 => 0..total / 2,
+        2 => total / 2..total,
+        _ => 0..total / 4,
+    };
+    let q = SeedQuery::top_k(k).over_range(range);
+    match flavor {
+        0..=4 => q,
+        5..=6 => q.with_root_weights(topic_weights(0)).with_topic(100),
+        7 => q.with_root_weights(topic_weights(1)).with_topic(101),
+        _ => q.with_root_weights(topic_weights(0)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn planned_execution_is_bit_identical_across_layouts_orders_and_threads(
+        specs in prop_vec((1usize..=12, 0u32..4, 0u32..9), 1..24),
+        shuffle_seed in 0u64..1_000_000,
+    ) {
+        let mut batch: Vec<SeedQuery> =
+            specs.iter().map(|&(k, r, f)| decode(k, r, f)).collect();
+        batch.shuffle(&mut StdRng::seed_from_u64(shuffle_seed));
+
+        // Reference: the per-query path on the single-epoch engine.
+        let reference = engines()[0].1.answer_batch(&batch).unwrap();
+        for (layout, single, threaded) in engines() {
+            for (threads, engine) in [("1 thread", single), ("4 threads", threaded)] {
+                prop_assert_eq!(
+                    &engine.answer_planned(&batch).unwrap(),
+                    &reference,
+                    "planned != per-query on {} at {}",
+                    layout,
+                    threads
+                );
+                prop_assert_eq!(
+                    &engine.answer_batch(&batch).unwrap(),
+                    &reference,
+                    "per-query path drifted on {} at {}",
+                    layout,
+                    threads
+                );
+            }
+        }
+    }
+}
