@@ -22,6 +22,9 @@
 //! original algorithm, since that is what the Stop-and-Stare paper
 //! benchmarks against.
 
+// Sanctioned wall-clock read: report-only elapsed-time stat (see lint-allow.toml).
+#![allow(clippy::disallowed_methods)]
+
 use std::time::Instant;
 
 use sns_core::bounds::certificate::StopCondition;
@@ -89,7 +92,7 @@ impl Imm {
                 }
             }
             peak_bytes = peak_bytes.max(pool.memory_bytes());
-            let cover = max_coverage_with(&pool, k, 0..pool.len() as u32, &mut cover_scratch);
+            let cover = max_coverage_with(&pool, k, pool.id_range(), &mut cover_scratch);
             let est = gamma * cover.covered as f64 / pool.len() as f64;
             if est >= (1.0 + eps_prime) * x {
                 lb = est / (1.0 + eps_prime);
@@ -114,7 +117,7 @@ impl Imm {
         iterations += 1;
 
         // Phase 2: node selection.
-        let cover = max_coverage_with(&pool, k, 0..pool.len() as u32, &mut cover_scratch);
+        let cover = max_coverage_with(&pool, k, pool.id_range(), &mut cover_scratch);
         let pool_size = pool.len() as u64;
         let i_hat = cover.influence_estimate(gamma, pool_size);
 

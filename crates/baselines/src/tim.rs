@@ -11,6 +11,9 @@
 //! bounded, so TIM can oversample arbitrarily — the experiments in §7
 //! confirm both TIM variants trail IMM, which trails SSA/D-SSA.
 
+// Sanctioned wall-clock read: report-only elapsed-time stat (see lint-allow.toml).
+#![allow(clippy::disallowed_methods)]
+
 use std::time::Instant;
 
 use sns_core::bounds::certificate::StopCondition;
@@ -110,7 +113,7 @@ impl Tim {
                 // ε' = 5·∛(l·ε²/(k+l)) — the paper's recommended balance.
                 let eps_ref = 5.0 * (l * eps * eps / (k as f64 + l)).cbrt();
                 let eps_ref = eps_ref.min(0.9); // keep the estimator sane
-                let cover = max_coverage_with(&pool, k, 0..pool.len() as u32, &mut cover_scratch);
+                let cover = max_coverage_with(&pool, k, pool.id_range(), &mut cover_scratch);
                 let lambda_ref = (2.0 + eps_ref) * l * nf * ln_n / (eps_ref * eps_ref);
                 let theta_ref = (lambda_ref / kpt_star).ceil() as u64;
                 // Fresh, independent sets measure the greedy candidate.
@@ -146,7 +149,7 @@ impl Tim {
         peak_bytes = peak_bytes.max(pool.memory_bytes());
         iterations += 1;
 
-        let cover = max_coverage_with(&pool, k, 0..pool.len() as u32, &mut cover_scratch);
+        let cover = max_coverage_with(&pool, k, pool.id_range(), &mut cover_scratch);
         let pool_size = pool.len() as u64;
         let i_hat = cover.influence_estimate(gamma, pool_size);
 

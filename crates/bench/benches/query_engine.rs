@@ -28,6 +28,9 @@
 //! wall-clock side — p50/p99 service latency, queries/sec — is written
 //! as the first-class `"serving"` object, report-only.
 
+// Benchmarks measure wall time by definition.
+#![allow(clippy::disallowed_methods)]
+
 use std::time::Duration;
 
 use criterion::{BenchmarkId, Criterion};

@@ -1,5 +1,8 @@
 //! The Dynamic Stop-and-Stare Algorithm — Algorithm 4 of the paper.
 
+// Sanctioned wall-clock read: report-only elapsed-time stat (see lint-allow.toml).
+#![allow(clippy::disallowed_methods)]
+
 use std::time::Instant;
 
 use sns_rrset::{max_coverage_with, GreedyScratch, RrCollection};

@@ -41,7 +41,7 @@
 //! See `docs/ARCHITECTURE.md` (repository root) for the full pipeline
 //! and epoch lifecycle diagrams.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::ops::Range;
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -190,8 +190,10 @@ pub struct QueryStats {
     pub planner_builds_saved: u64,
 }
 
-/// Key of one snapshot-cache entry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// Key of one snapshot-cache entry. `Ord` because the cache is a
+/// `BTreeMap` — iteration order (and therefore any eviction tie-break)
+/// must be deterministic, per the workspace determinism contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum CacheKey {
     /// Unweighted snapshot of `start..end`, built when `epochs` sealed
     /// boundaries were ≤ `end`. With today's growth paths the signature
@@ -244,9 +246,12 @@ struct CacheEntry {
 /// The engine's snapshot cache: one map for per-epoch, merged-range and
 /// weighted-by-topic snapshots, LRU-evicted against a byte budget.
 /// Plain `u64` counters — every access already holds the cache mutex.
+/// A `BTreeMap` rather than a `HashMap`: eviction scans the entries, and
+/// scan order must not depend on hasher seeds (`sns-lint`
+/// `determinism/hash-iteration`).
 #[derive(Debug)]
 struct SnapshotCache {
-    entries: HashMap<CacheKey, CacheEntry>,
+    entries: BTreeMap<CacheKey, CacheEntry>,
     /// Monotone access clock backing the LRU order.
     clock: u64,
     bytes: u64,
@@ -257,7 +262,7 @@ struct SnapshotCache {
 impl SnapshotCache {
     fn new(budget: u64) -> Self {
         SnapshotCache {
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
             clock: 0,
             bytes: 0,
             budget,
@@ -288,15 +293,18 @@ impl SnapshotCache {
             self.bytes -= old.bytes;
         }
         self.bytes += bytes;
+        // `len > 1` guarantees a non-inserted entry exists, but the
+        // serving path must not panic on a broken invariant — a `None`
+        // here (impossible today) just stops evicting, leaving the cache
+        // over budget until the next insert.
         while self.bytes > self.budget && self.entries.len() > 1 {
             let victim = self
                 .entries
                 .iter()
                 .filter(|(k, _)| **k != key)
                 .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| *k)
-                .expect("len > 1 so a non-inserted entry exists");
-            let evicted = self.entries.remove(&victim).expect("victim exists");
+                .map(|(k, _)| *k);
+            let Some(evicted) = victim.and_then(|v| self.entries.remove(&v)) else { break };
             self.bytes -= evicted.bytes;
             self.stats.evictions += 1;
         }
@@ -311,6 +319,22 @@ impl SnapshotCache {
 /// Default snapshot-cache budget: plenty for tens of frozen ranges on
 /// million-node pools, small next to the pool arena itself.
 const DEFAULT_CACHE_BUDGET: u64 = 128 << 20;
+
+/// Drains the batch answer slots in query order. Every slot is filled by
+/// construction (each index is claimed by exactly one worker / plan
+/// group); an empty slot means a bug in this crate and surfaces as
+/// [`CoreError::Internal`] rather than a panic, per the panic-path
+/// contract.
+fn collect_answers(slots: Vec<OnceLock<SeedAnswer>>) -> Result<Vec<SeedAnswer>, CoreError> {
+    let mut answers = Vec::with_capacity(slots.len());
+    for slot in slots {
+        match slot.into_inner() {
+            Some(answer) => answers.push(answer),
+            None => return Err(CoreError::Internal("a batch answer slot was never filled")),
+        }
+    }
+    Ok(answers)
+}
 
 /// A sealed RR-set pool plus an epoch-incremental snapshot cache,
 /// serving [`SeedQuery`] batches (see the module docs).
@@ -589,12 +613,18 @@ impl SeedQueryEngine {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(query) = queries.get(i) else { break };
                         let answer = self.answer_validated(query, &mut scratch);
-                        slots[i].set(answer).expect("each query index claimed once");
+                        // `fetch_add` hands each index to exactly one
+                        // worker; a double set is impossible, and answers
+                        // are deterministic so it would be value-identical
+                        // anyway — no reason to panic on a serving path.
+                        if let Some(slot) = slots.get(i) {
+                            let _ = slot.set(answer);
+                        }
                     }
                 });
             }
         });
-        Ok(slots.into_iter().map(|s| s.into_inner().expect("all queries answered")).collect())
+        collect_answers(slots)
     }
 
     /// Answers a batch through the batch planner: queries are grouped by
@@ -616,7 +646,7 @@ impl SeedQueryEngine {
         for (i, q) in queries.iter().enumerate() {
             self.validate(q).map_err(|e| CoreError::InvalidParams(format!("query {i}: {e}")))?;
         }
-        let plan = BatchPlan::build(queries, self.pool.len() as u32);
+        let plan = BatchPlan::build(queries, self.pool.id_range().end);
         {
             let mut cache = self.lock_cache();
             cache.stats.planned_batches += 1;
@@ -646,7 +676,7 @@ impl SeedQueryEngine {
                 }
             });
         }
-        Ok(slots.into_iter().map(|s| s.into_inner().expect("all queries answered")).collect())
+        collect_answers(slots)
     }
 
     /// Executes one plan group: resolves the shared snapshot once, then
@@ -661,26 +691,48 @@ impl SeedQueryEngine {
         scratch: &mut GreedyScratch,
         slots: &[OnceLock<SeedAnswer>],
     ) {
+        // Member indices come from `BatchPlan::build` over these same
+        // queries, so every lookup below succeeds and every slot is set
+        // exactly once. The serving path still refuses to panic on a
+        // broken invariant: an out-of-range member is skipped (surfacing
+        // as `CoreError::Internal` when the answers are collected) and a
+        // double set is ignored — answers are deterministic, so a second
+        // set would be value-identical.
         let set = |i: usize, answer: SeedAnswer| {
-            slots[i].set(answer).expect("each query index answered once");
+            if let Some(slot) = slots.get(i) {
+                let _ = slot.set(answer);
+            }
         };
         match group.key {
             GroupKey::Plain { start, end } => {
                 let range = start..end;
                 let snapshot = self.snapshot_for(&range);
                 for &i in &group.members {
-                    set(i, self.answer_plain_with(&queries[i], &range, &snapshot, scratch));
+                    let Some(query) = queries.get(i) else { continue };
+                    set(i, self.answer_plain_with(query, &range, &snapshot, scratch));
                 }
             }
             GroupKey::Topic { start, end, topic } => {
                 let range = start..end;
-                let shared = queries[group.members[0]]
-                    .root_weights
-                    .as_ref()
-                    .expect("topic groups imply root weights");
+                // Topic groups imply root weights (the planner only
+                // groups weighted queries under `Topic`); if that ever
+                // broke, fall back to the per-query path — degraded
+                // sharing, never a wrong answer or a panic.
+                let shared = group
+                    .members
+                    .first()
+                    .and_then(|&first| queries.get(first))
+                    .and_then(|q| q.root_weights.as_ref());
+                let Some(shared) = shared else {
+                    for &i in &group.members {
+                        let Some(query) = queries.get(i) else { continue };
+                        set(i, self.answer_validated(query, scratch));
+                    }
+                    return;
+                };
                 let snapshot = self.weighted_snapshot_for(&range, topic, shared);
                 for &i in &group.members {
-                    let query = &queries[i];
+                    let Some(query) = queries.get(i) else { continue };
                     let same_arc =
                         query.root_weights.as_ref().is_some_and(|w| Arc::ptr_eq(w, shared));
                     if same_arc {
@@ -695,7 +747,8 @@ impl SeedQueryEngine {
             }
             GroupKey::Solo { .. } => {
                 for &i in &group.members {
-                    set(i, self.answer_validated(&queries[i], scratch));
+                    let Some(query) = queries.get(i) else { continue };
+                    set(i, self.answer_validated(query, scratch));
                 }
             }
         }
@@ -748,7 +801,7 @@ impl SeedQueryEngine {
     /// modulo the snapshot cache — the invariant the parallel batch path
     /// relies on.
     fn answer_validated(&self, query: &SeedQuery, scratch: &mut GreedyScratch) -> SeedAnswer {
-        let range = query.range.clone().unwrap_or(0..self.pool.len() as u32);
+        let range = query.range.clone().unwrap_or_else(|| self.pool.id_range());
         match (&query.root_weights, query.topic) {
             (Some(weights), Some(topic)) => {
                 // Repeated-topic fast path: frozen weighted gains

@@ -15,6 +15,12 @@ pub enum CoreError {
     /// mismatch, I/O) from saving or loading a
     /// [`crate::SeedQueryEngine`].
     Store(sns_rrset::StoreError),
+    /// A broken internal invariant the serving path refuses to panic
+    /// over (e.g. a batch worker left an answer slot empty). Seeing this
+    /// is a bug in this crate, not in the caller's input — but it is
+    /// reported as an error, per the panic-path contract
+    /// (`docs/ARCHITECTURE.md` §6), instead of taking the process down.
+    Internal(&'static str),
 }
 
 impl fmt::Display for CoreError {
@@ -23,6 +29,9 @@ impl fmt::Display for CoreError {
             CoreError::InvalidParams(msg) => write!(f, "invalid parameters: {msg}"),
             CoreError::Graph(e) => write!(f, "graph error: {e}"),
             CoreError::Store(e) => write!(f, "pool store error: {e}"),
+            CoreError::Internal(msg) => {
+                write!(f, "internal invariant violated (bug in sns-core): {msg}")
+            }
         }
     }
 }

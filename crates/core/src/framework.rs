@@ -7,6 +7,9 @@
 //! (`sns-baselines`) drive it with their respective thresholds, and tests
 //! use it as the "ground RIS" oracle.
 
+// Sanctioned wall-clock read: report-only elapsed-time stat (see lint-allow.toml).
+#![allow(clippy::disallowed_methods)]
+
 use std::time::Instant;
 
 use sns_rrset::{max_coverage, RrCollection};

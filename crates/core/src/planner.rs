@@ -36,13 +36,15 @@
 //! See `docs/ARCHITECTURE.md` (repository root) for the
 //! plan → admit → build-or-hit → select → respond pipeline walk-through.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::SeedQuery;
 
 /// The snapshot identity a query resolves against — the grouping key of
 /// [`BatchPlan`]. Queries with equal keys share one snapshot resolution.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// `Ord` because the planner's grouping index is a `BTreeMap` (the
+/// workspace determinism contract bans hash-order iteration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum GroupKey {
     /// Unweighted queries over one pool id range: they share the range's
     /// plain [`GainSnapshot`](sns_rrset::GainSnapshot).
@@ -99,7 +101,7 @@ impl BatchPlan {
     /// function of the batch.
     pub fn build(queries: &[SeedQuery], pool_len: u32) -> Self {
         let mut groups: Vec<PlanGroup> = Vec::new();
-        let mut index: HashMap<GroupKey, usize> = HashMap::new();
+        let mut index: BTreeMap<GroupKey, usize> = BTreeMap::new();
         for (i, q) in queries.iter().enumerate() {
             let range = q.range.clone().unwrap_or(0..pool_len);
             let key = match (&q.root_weights, q.topic) {
@@ -110,7 +112,14 @@ impl BatchPlan {
                 (None, _) => GroupKey::Plain { start: range.start, end: range.end },
             };
             match index.get(&key) {
-                Some(&g) => groups[g].members.push(i),
+                // The index only ever stores positions of pushed groups,
+                // so the lookup always succeeds — checked access keeps
+                // the serving path panic-free regardless.
+                Some(&g) => {
+                    if let Some(group) = groups.get_mut(g) {
+                        group.members.push(i);
+                    }
+                }
                 None => {
                     index.insert(key, groups.len());
                     groups.push(PlanGroup { key, members: vec![i] });
@@ -294,8 +303,25 @@ impl AdmissionQueue {
 
     /// Estimated cost of the queued work that would be served before a
     /// query of `priority`: everything of equal or higher priority.
+    /// Destructuring instead of `backlog[priority as usize..]` keeps the
+    /// serving path free of unchecked indexing (sns-lint `panics/index`).
     fn backlog_ahead(&self, priority: Priority) -> u64 {
-        self.backlog[priority as usize..].iter().sum()
+        let [low, normal, high] = self.backlog;
+        match priority {
+            Priority::Low => low + normal + high,
+            Priority::Normal => normal + high,
+            Priority::High => high,
+        }
+    }
+
+    /// The backlog accumulator for one priority class, by `match` — the
+    /// array has exactly one slot per [`Priority`] variant.
+    fn backlog_slot(&mut self, priority: Priority) -> &mut u64 {
+        match priority {
+            Priority::Low => &mut self.backlog[0],
+            Priority::Normal => &mut self.backlog[1],
+            Priority::High => &mut self.backlog[2],
+        }
     }
 
     /// Offers `query` for admission at virtual time `now` against a pool
@@ -327,7 +353,7 @@ impl AdmissionQueue {
         }
         let ticket = self.next_ticket;
         self.next_ticket += 1;
-        self.backlog[priority as usize] += cost;
+        *self.backlog_slot(priority) += cost;
         self.entries.push(Pending { query, priority, deadline, cost, arrived: now, ticket });
         self.stats.admitted += 1;
         Ok(ticket)
@@ -349,12 +375,12 @@ impl AdmissionQueue {
         let mut drained = std::mem::take(&mut self.entries).into_iter();
         for entry in drained.by_ref() {
             if entry.deadline.is_some_and(|d| d < now) {
-                self.backlog[entry.priority as usize] -= entry.cost;
+                *self.backlog_slot(entry.priority) -= entry.cost;
                 self.stats.expired += 1;
                 continue;
             }
             if out.len() < max {
-                self.backlog[entry.priority as usize] -= entry.cost;
+                *self.backlog_slot(entry.priority) -= entry.cost;
                 self.stats.drained += 1;
                 out.push(entry);
             } else {

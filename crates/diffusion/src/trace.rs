@@ -44,20 +44,23 @@ impl CascadeTrace {
     /// itself included). The attribution of a node is the seed at the
     /// root of its activation chain.
     pub fn attribution(&self) -> Vec<(NodeId, u64)> {
-        use std::collections::HashMap;
-        let mut root_of: HashMap<NodeId, NodeId> = HashMap::new();
-        let mut counts: HashMap<NodeId, u64> = HashMap::new();
+        use std::collections::BTreeMap;
+        // BTreeMaps, not HashMaps: `counts` is iterated into the result,
+        // and iteration order must not depend on hasher seeds. The
+        // ordered map also makes the output sorted by construction.
+        let mut root_of: BTreeMap<NodeId, NodeId> = BTreeMap::new();
+        let mut counts: BTreeMap<NodeId, u64> = BTreeMap::new();
         for a in &self.activations {
             let root = match a.activated_by {
+                // Parents always activate before children, so the lookup
+                // succeeds; an (impossible) orphan attributes to itself.
                 None => a.node,
-                Some(parent) => root_of[&parent],
+                Some(parent) => root_of.get(&parent).copied().unwrap_or(a.node),
             };
             root_of.insert(a.node, root);
             *counts.entry(root).or_insert(0) += 1;
         }
-        let mut out: Vec<(NodeId, u64)> = counts.into_iter().collect();
-        out.sort_unstable();
-        out
+        counts.into_iter().collect()
     }
 }
 

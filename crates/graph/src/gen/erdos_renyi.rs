@@ -1,5 +1,9 @@
 //! Erdős–Rényi G(n, m) directed random graphs.
 
+// Keyed-only HashSet: edge dedup by contains/insert, never iterated, so hash
+// order cannot reach any output (docs/ARCHITECTURE.md §6).
+#![allow(clippy::disallowed_types)]
+
 use std::collections::HashSet;
 
 use rand::rngs::StdRng;

@@ -1,0 +1,351 @@
+//! `lint-allow.toml` — the checked-in exemption list and rule scope.
+//!
+//! The file is the *documentation* of where nondeterminism and panics
+//! are allowed to live: every `[[allow]]` entry must carry a non-empty
+//! `reason` string, and entries that stop matching anything are
+//! themselves an error (a stale exemption is a lie about the code).
+//!
+//! Parsed with a handwritten subset-of-TOML reader (the workspace is
+//! offline and the linter takes zero dependencies). Supported syntax:
+//! comments, `[section]`, `[[array-of-table]]`, `key = "string"`, and
+//! `key = ["a", "b"]` (single- or multi-line). That is all this file
+//! format needs; anything else is a parse error, not a silent skip.
+
+use std::collections::BTreeMap;
+
+/// One parsed `[[allow]]` entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Rule id the entry suppresses (e.g. `determinism/wall-clock`).
+    pub rule: String,
+    /// Workspace-relative path (forward slashes) the entry applies to.
+    pub path: String,
+    /// Optional substring the flagged source line must contain; narrows
+    /// an entry to specific sites within the file.
+    pub contains: Option<String>,
+    /// Why the exemption is sound. **Required and non-empty** — the
+    /// allowlist is the documentation of sanctioned violations.
+    pub reason: String,
+}
+
+/// Parsed `lint-allow.toml`: rule scope plus the exemption list.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Source trees (workspace-relative dirs or files) the determinism
+    /// and cast rules walk.
+    pub deterministic: Vec<String>,
+    /// Files under the panic-path contract (no unwrap/expect/panic!/
+    /// unchecked indexing outside `#[cfg(test)]`).
+    pub panic_paths: Vec<String>,
+    /// Files whose `as` casts are sanctioned (the designated checked-
+    /// conversion helpers; everything else must route through them).
+    pub cast_sanctioned: Vec<String>,
+    /// Directory names skipped during the walk (test/bench/fixture
+    /// trees).
+    pub skip_dirs: Vec<String>,
+    /// The exemption entries.
+    pub allows: Vec<AllowEntry>,
+}
+
+/// A configuration failure: file unreadable, syntax outside the
+/// supported subset, or an entry violating the schema (most importantly,
+/// a missing or empty `reason`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// 1-based line of `lint-allow.toml` the error points at (0 when the
+    /// whole file is the problem).
+    pub line: u32,
+    /// What is wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lint-allow.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// A parsed value: string or array of strings.
+enum Value {
+    Str(String),
+    Arr(Vec<String>),
+}
+
+/// Parses the supported TOML subset out of `text`.
+pub fn parse(text: &str) -> Result<Config, ConfigError> {
+    let mut cfg = Config::default();
+    // (section name, is_array_of_tables, key → value, header line)
+    let mut section: Option<(String, bool, BTreeMap<String, Value>, u32)> = None;
+    let err = |line: u32, message: String| Err(ConfigError { line, message });
+
+    let mut lines = text.lines().enumerate().peekable();
+    while let Some((idx, raw)) = lines.next() {
+        let lineno = idx as u32 + 1;
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix("[[").and_then(|r| r.strip_suffix("]]")) {
+            flush(&mut cfg, section.take())?;
+            section = Some((header.trim().to_string(), true, BTreeMap::new(), lineno));
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[').and_then(|r| r.strip_suffix(']')) {
+            flush(&mut cfg, section.take())?;
+            section = Some((header.trim().to_string(), false, BTreeMap::new(), lineno));
+            continue;
+        }
+        let Some(eq) = line.find('=') else {
+            return err(lineno, format!("expected `key = value`, got {line:?}"));
+        };
+        let key = line[..eq].trim().to_string();
+        let mut rest = line[eq + 1..].trim().to_string();
+        // Multi-line arrays: keep consuming until the bracket closes.
+        if rest.starts_with('[') {
+            while !array_closed(&rest) {
+                match lines.next() {
+                    Some((_, cont)) => {
+                        rest.push(' ');
+                        rest.push_str(strip_comment(cont).trim());
+                    }
+                    None => return err(lineno, format!("unterminated array for key {key:?}")),
+                }
+            }
+        }
+        let value = parse_value(&rest).map_err(|m| ConfigError { line: lineno, message: m })?;
+        let Some((_, _, map, _)) = section.as_mut() else {
+            return err(lineno, format!("key {key:?} outside any [section]"));
+        };
+        if map.insert(key.clone(), value).is_some() {
+            return err(lineno, format!("duplicate key {key:?} in one entry"));
+        }
+    }
+    flush(&mut cfg, section.take())?;
+    Ok(cfg)
+}
+
+/// Strips a `#` comment, respecting `"…"` strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_str && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        escaped = false;
+    }
+    line
+}
+
+fn array_closed(rest: &str) -> bool {
+    // Counts brackets outside strings; the subset has no nested arrays.
+    let mut in_str = false;
+    let mut escaped = false;
+    let mut open = 0i32;
+    for c in rest.chars() {
+        match c {
+            '\\' if in_str && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_str = !in_str,
+            '[' if !in_str => open += 1,
+            ']' if !in_str => open -= 1,
+            _ => {}
+        }
+        escaped = false;
+    }
+    open <= 0
+}
+
+fn parse_value(rest: &str) -> Result<Value, String> {
+    if let Some(inner) = rest.strip_prefix('[') {
+        let inner = inner.strip_suffix(']').ok_or("array does not close")?;
+        let mut items = Vec::new();
+        for piece in split_top_level(inner) {
+            let piece = piece.trim();
+            if piece.is_empty() {
+                continue;
+            }
+            items.push(parse_string(piece)?);
+        }
+        return Ok(Value::Arr(items));
+    }
+    Ok(Value::Str(parse_string(rest)?))
+}
+
+/// Splits an array body on commas outside strings.
+fn split_top_level(inner: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    let mut escaped = false;
+    for c in inner.chars() {
+        match c {
+            '\\' if in_str && !escaped => {
+                escaped = true;
+                cur.push(c);
+                continue;
+            }
+            '"' if !escaped => {
+                in_str = !in_str;
+                cur.push(c);
+            }
+            ',' if !in_str => {
+                out.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+        escaped = false;
+    }
+    out.push(cur);
+    out
+}
+
+fn parse_string(piece: &str) -> Result<String, String> {
+    let inner = piece
+        .strip_prefix('"')
+        .and_then(|r| r.strip_suffix('"'))
+        .ok_or_else(|| format!("expected a \"quoted string\", got {piece:?}"))?;
+    let mut out = String::new();
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some('\\') => out.push('\\'),
+                Some('"') => out.push('"'),
+                Some(other) => return Err(format!("unsupported escape \\{other}")),
+                None => return Err("dangling backslash".into()),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Ok(out)
+}
+
+/// Folds a completed section into the config, enforcing the schema.
+fn flush(
+    cfg: &mut Config,
+    section: Option<(String, bool, BTreeMap<String, Value>, u32)>,
+) -> Result<(), ConfigError> {
+    let Some((name, is_array, mut map, lineno)) = section else {
+        return Ok(());
+    };
+    let err = |message: String| Err(ConfigError { line: lineno, message });
+    let take_arr = |map: &mut BTreeMap<String, Value>, key: &str| -> Option<Vec<String>> {
+        match map.remove(key) {
+            Some(Value::Arr(v)) => Some(v),
+            Some(Value::Str(s)) => Some(vec![s]),
+            None => None,
+        }
+    };
+    match (name.as_str(), is_array) {
+        ("scope", false) => {
+            cfg.deterministic = take_arr(&mut map, "deterministic").unwrap_or_default();
+            cfg.panic_paths = take_arr(&mut map, "panic_paths").unwrap_or_default();
+            cfg.cast_sanctioned = take_arr(&mut map, "cast_sanctioned").unwrap_or_default();
+            cfg.skip_dirs = take_arr(&mut map, "skip_dirs").unwrap_or_default();
+            if let Some(stray) = map.keys().next() {
+                return err(format!("unknown key {stray:?} in [scope]"));
+            }
+        }
+        ("allow", true) => {
+            let take_str = |map: &mut BTreeMap<String, Value>, key: &str| match map.remove(key) {
+                Some(Value::Str(s)) => Ok(Some(s)),
+                Some(Value::Arr(_)) => Err(format!("key {key:?} must be a string")),
+                None => Ok(None),
+            };
+            let fail = |m: String| ConfigError { line: lineno, message: m };
+            let rule = take_str(&mut map, "rule")
+                .map_err(fail)?
+                .ok_or_else(|| fail("[[allow]] entry is missing `rule`".into()))?;
+            let path = take_str(&mut map, "path")
+                .map_err(fail)?
+                .ok_or_else(|| fail("[[allow]] entry is missing `path`".into()))?;
+            let contains = take_str(&mut map, "contains").map_err(fail)?;
+            let reason = take_str(&mut map, "reason")
+                .map_err(fail)?
+                .ok_or_else(|| fail(format!("[[allow]] {rule} {path}: missing `reason`")))?;
+            if reason.trim().is_empty() {
+                return err(format!(
+                    "[[allow]] {rule} {path}: empty `reason` — every exemption must say why"
+                ));
+            }
+            if let Some(stray) = map.keys().next() {
+                return err(format!("unknown key {stray:?} in [[allow]] entry"));
+            }
+            cfg.allows.push(AllowEntry { rule, path, contains, reason });
+        }
+        _ => return err(format!("unknown section [{name}]")),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scope_and_allow_entries() {
+        let cfg = parse(
+            r#"
+            [scope]
+            deterministic = [
+                "crates/core/src", # with a comment
+                "src",
+            ]
+            panic_paths = ["crates/core/src/engine.rs"]
+
+            [[allow]]
+            rule = "determinism/wall-clock"
+            path = "crates/core/src/ssa.rs"
+            contains = "Instant::now"
+            reason = "report-only timing"
+            "#,
+        )
+        .unwrap();
+        assert_eq!(cfg.deterministic, ["crates/core/src", "src"]);
+        assert_eq!(cfg.panic_paths, ["crates/core/src/engine.rs"]);
+        assert_eq!(cfg.allows.len(), 1);
+        assert_eq!(cfg.allows[0].contains.as_deref(), Some("Instant::now"));
+    }
+
+    #[test]
+    fn allow_without_reason_is_rejected() {
+        let e =
+            parse("[[allow]]\nrule = \"determinism/rng\"\npath = \"crates/x.rs\"\n").unwrap_err();
+        assert!(e.message.contains("missing `reason`"), "{e}");
+    }
+
+    #[test]
+    fn allow_with_empty_reason_is_rejected() {
+        let e = parse("[[allow]]\nrule = \"r\"\npath = \"p\"\nreason = \"  \"\n").unwrap_err();
+        assert!(e.message.contains("empty `reason`"), "{e}");
+    }
+
+    #[test]
+    fn unknown_keys_and_sections_are_errors() {
+        assert!(parse("[scope]\nbogus = [\"a\"]\n").is_err());
+        assert!(parse("[mystery]\n").is_err());
+        assert!(parse("[[allow]]\nrule = \"r\"\npath = \"p\"\nreason = \"ok\"\nwhat = \"no\"\n")
+            .is_err());
+    }
+
+    #[test]
+    fn hash_inside_strings_is_not_a_comment() {
+        let cfg = parse("[[allow]]\nrule = \"r\"\npath = \"p#q\"\nreason = \"see #42\"\n").unwrap();
+        assert_eq!(cfg.allows[0].path, "p#q");
+        assert_eq!(cfg.allows[0].reason, "see #42");
+    }
+}

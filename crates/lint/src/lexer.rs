@@ -1,0 +1,336 @@
+//! A small handwritten Rust lexer — just enough token structure for the
+//! lint rules in [`crate::rules`].
+//!
+//! The lexer's one job is to never misclassify *where code is*: comments
+//! and string/char literals must not leak tokens (a `HashMap` mentioned
+//! in a doc comment is not a finding), and every token must carry its
+//! line/column so diagnostics point at real source. It deliberately does
+//! **not** build an AST — the rules work on token patterns plus the
+//! item outline in [`crate::rules::test_spans`].
+
+/// Token classes the rules care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`as`, `for`, `in` … are plain idents here).
+    Ident,
+    /// Lifetime (`'a`) — kept distinct so `'a` never reads as a char.
+    Lifetime,
+    /// Numeric literal, suffix included (`42u32`, `1.5e-3`).
+    Num,
+    /// String / char / byte-string literal (contents dropped).
+    Str,
+    /// A single punctuation character (`::` is two `:` tokens).
+    Punct,
+}
+
+/// One token with its source position (1-based line and byte column).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Token text (empty for [`TokKind::Str`]; the rules never match
+    /// literal contents).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based byte column of the token start.
+    pub col: u32,
+}
+
+impl Tok {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `source` into a token stream, skipping whitespace and comments
+/// (line, nested block, and doc forms) and collapsing literals.
+pub fn lex(source: &str) -> Vec<Tok> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    // Advances past chars[i], maintaining line/col.
+    macro_rules! bump {
+        () => {{
+            if chars[i] == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let (tline, tcol) = (line, col);
+        if c.is_whitespace() {
+            bump!();
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < chars.len() {
+            if chars[i + 1] == '/' {
+                while i < chars.len() && chars[i] != '\n' {
+                    bump!();
+                }
+                continue;
+            }
+            if chars[i + 1] == '*' {
+                bump!();
+                bump!();
+                let mut depth = 1usize;
+                while i < chars.len() && depth > 0 {
+                    if chars[i] == '/' && i + 1 < chars.len() && chars[i + 1] == '*' {
+                        depth += 1;
+                        bump!();
+                        bump!();
+                    } else if chars[i] == '*' && i + 1 < chars.len() && chars[i + 1] == '/' {
+                        depth -= 1;
+                        bump!();
+                        bump!();
+                    } else {
+                        bump!();
+                    }
+                }
+                continue;
+            }
+        }
+        // Lifetime vs char literal.
+        if c == '\'' {
+            let next = chars.get(i + 1).copied();
+            let after = chars.get(i + 2).copied();
+            let is_lifetime = matches!(next, Some(n) if is_ident_start(n)) && after != Some('\'');
+            bump!();
+            if is_lifetime {
+                let mut text = String::new();
+                while i < chars.len() && is_ident_continue(chars[i]) {
+                    text.push(chars[i]);
+                    bump!();
+                }
+                toks.push(Tok { kind: TokKind::Lifetime, text, line: tline, col: tcol });
+            } else {
+                // Char literal: scan (with escapes) to the closing quote.
+                while i < chars.len() {
+                    if chars[i] == '\\' {
+                        bump!();
+                        if i < chars.len() {
+                            bump!();
+                        }
+                        continue;
+                    }
+                    if chars[i] == '\'' {
+                        bump!();
+                        break;
+                    }
+                    bump!();
+                }
+                toks.push(Tok { kind: TokKind::Str, text: String::new(), line: tline, col: tcol });
+            }
+            continue;
+        }
+        // Plain string literal.
+        if c == '"' {
+            bump!();
+            while i < chars.len() {
+                if chars[i] == '\\' {
+                    bump!();
+                    if i < chars.len() {
+                        bump!();
+                    }
+                    continue;
+                }
+                if chars[i] == '"' {
+                    bump!();
+                    break;
+                }
+                bump!();
+            }
+            toks.push(Tok { kind: TokKind::Str, text: String::new(), line: tline, col: tcol });
+            continue;
+        }
+        // Identifier — may turn out to prefix a raw/byte string (r"", b"",
+        // br#""#) or a raw identifier (r#name).
+        if is_ident_start(c) {
+            let mut text = String::new();
+            while i < chars.len() && is_ident_continue(chars[i]) {
+                text.push(chars[i]);
+                bump!();
+            }
+            let string_prefix = matches!(text.as_str(), "r" | "b" | "br" | "rb");
+            if string_prefix && i < chars.len() && (chars[i] == '"' || chars[i] == '#') {
+                // Raw identifier r#name: only `r`, and `#` followed by an
+                // identifier start (not another `#` or a quote).
+                if text == "r"
+                    && chars[i] == '#'
+                    && matches!(chars.get(i + 1), Some(&n) if is_ident_start(n))
+                {
+                    bump!(); // the '#'
+                    let mut raw = String::new();
+                    while i < chars.len() && is_ident_continue(chars[i]) {
+                        raw.push(chars[i]);
+                        bump!();
+                    }
+                    toks.push(Tok { kind: TokKind::Ident, text: raw, line: tline, col: tcol });
+                    continue;
+                }
+                // Raw / byte string: count hashes, expect a quote, then
+                // scan for the closing quote + same hash run (no escapes
+                // in raw strings; plain escapes in b"").
+                let mut hashes = 0usize;
+                while i < chars.len() && chars[i] == '#' {
+                    hashes += 1;
+                    bump!();
+                }
+                if i < chars.len() && chars[i] == '"' {
+                    bump!();
+                    let raw = text.contains('r');
+                    'scan: while i < chars.len() {
+                        if !raw && chars[i] == '\\' {
+                            bump!();
+                            if i < chars.len() {
+                                bump!();
+                            }
+                            continue;
+                        }
+                        if chars[i] == '"' {
+                            bump!();
+                            let mut seen = 0usize;
+                            while seen < hashes && i < chars.len() && chars[i] == '#' {
+                                seen += 1;
+                                bump!();
+                            }
+                            if seen == hashes {
+                                break 'scan;
+                            }
+                            continue;
+                        }
+                        bump!();
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::Str,
+                        text: String::new(),
+                        line: tline,
+                        col: tcol,
+                    });
+                    continue;
+                }
+                // `r#` not followed by a quote or ident: fall through —
+                // emit the ident and let the '#' lex as punctuation.
+            }
+            toks.push(Tok { kind: TokKind::Ident, text, line: tline, col: tcol });
+            continue;
+        }
+        // Number.
+        if c.is_ascii_digit() {
+            let mut text = String::new();
+            while i < chars.len() {
+                let d = chars[i];
+                if is_ident_continue(d) {
+                    text.push(d);
+                    bump!();
+                    // Exponent sign: 1e-3, 2.5E+7.
+                    if (d == 'e' || d == 'E')
+                        && text.chars().next().is_some_and(|f| f.is_ascii_digit())
+                        && matches!(chars.get(i), Some('+') | Some('-'))
+                        && matches!(chars.get(i + 1), Some(n) if n.is_ascii_digit())
+                    {
+                        text.push(chars[i]);
+                        bump!();
+                    }
+                    continue;
+                }
+                // A dot continues the number only before another digit
+                // (so `0..10` and `1.max(2)` terminate the literal).
+                if d == '.' && matches!(chars.get(i + 1), Some(n) if n.is_ascii_digit()) {
+                    text.push(d);
+                    bump!();
+                    continue;
+                }
+                break;
+            }
+            toks.push(Tok { kind: TokKind::Num, text, line: tline, col: tcol });
+            continue;
+        }
+        // Everything else: one punctuation character.
+        let mut text = String::new();
+        text.push(c);
+        bump!();
+        toks.push(Tok { kind: TokKind::Punct, text, line: tline, col: tcol });
+    }
+    toks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src).into_iter().filter(|t| t.kind == TokKind::Ident).map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn comments_and_strings_emit_no_idents() {
+        let src = r##"
+            // HashMap in a line comment
+            /* Instant::now in /* a nested */ block */
+            let s = "Instant::now inside a string";
+            let r = r#"HashMap "quoted" raw"#;
+            let c = 'x';
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()), "{ids:?}");
+        assert!(!ids.contains(&"Instant".to_string()), "{ids:?}");
+        assert!(ids.contains(&"let".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'b' }");
+        let lifetimes: Vec<_> =
+            toks.iter().filter(|t| t.kind == TokKind::Lifetime).map(|t| &t.text).collect();
+        assert_eq!(lifetimes, ["a", "a"]);
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn lines_and_columns_are_tracked() {
+        let toks = lex("a\n  b");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_method_calls() {
+        let texts: Vec<String> = lex("0..10 1.5 2.max(3) 1e-3u64")
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(texts, ["0", "10", "1.5", "2", "3", "1e-3u64"]);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_their_name() {
+        let ids = idents("let r#type = 1;");
+        assert!(ids.contains(&"type".to_string()), "{ids:?}");
+    }
+}

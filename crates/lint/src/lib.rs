@@ -1,0 +1,278 @@
+//! `sns-lint` — the workspace determinism & safety analyzer.
+//!
+//! Stop-and-Stare's serving contract is *bit identity*: the same pool
+//! epoch and query stream must produce byte-identical answers on every
+//! run, machine, and thread count. That property survives only if no
+//! deterministic code path reads the wall clock, iterates a hash table,
+//! draws ambient randomness, truncates an index, or panics instead of
+//! returning an error. This crate mechanically enforces those rules:
+//!
+//! * [`lexer`] — a handwritten Rust lexer (the workspace is offline and
+//!   the linter takes zero dependencies — no `syn`).
+//! * [`rules`] — the three rule families over the token stream.
+//! * [`config`] — `lint-allow.toml`: rule scope plus the exemption list,
+//!   where every entry must carry a non-empty `reason`.
+//!
+//! [`run`] walks the configured source trees, lints every `.rs` file,
+//! subtracts allowlisted findings, and reports stale allowlist entries
+//! (an exemption that no longer matches anything is itself an error).
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+
+use std::collections::BTreeSet;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use config::{AllowEntry, Config, ConfigError};
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id (`determinism/wall-clock`, `casts/lossy`, …).
+    pub rule: &'static str,
+    /// Workspace-relative path, forward slashes.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human explanation with the suggested fix.
+    pub message: String,
+    /// The trimmed source line, for allowlist `contains` matching.
+    pub line_text: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}:{}: {}: {}", self.path, self.line, self.col, self.rule, self.message)
+    }
+}
+
+/// The outcome of a full lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Violations not covered by any allowlist entry, sorted by
+    /// (path, line, col).
+    pub findings: Vec<Finding>,
+    /// Allowlist entries that matched nothing — stale exemptions are
+    /// errors so the file can only shrink when the code improves.
+    pub stale_allows: Vec<AllowEntry>,
+    /// Findings suppressed by a matching allowlist entry.
+    pub suppressed: usize,
+    /// Number of `.rs` files analyzed.
+    pub files: usize,
+}
+
+impl Report {
+    /// Whether the run passes the gate.
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty() && self.stale_allows.is_empty()
+    }
+}
+
+/// Reads and parses `<root>/lint-allow.toml`.
+pub fn load_config(root: &Path) -> Result<Config, ConfigError> {
+    let path = root.join("lint-allow.toml");
+    let text = std::fs::read_to_string(&path).map_err(|e| ConfigError {
+        line: 0,
+        message: format!("cannot read {}: {e}", path.display()),
+    })?;
+    config::parse(&text)
+}
+
+/// Lints every `.rs` file under the configured scope roots.
+pub fn run(root: &Path, cfg: &Config) -> io::Result<Report> {
+    let mut files = BTreeSet::new();
+    for scope_root in &cfg.deterministic {
+        collect(&root.join(scope_root), &cfg.skip_dirs, &mut files)?;
+    }
+
+    let mut report = Report::default();
+    let mut used = vec![false; cfg.allows.len()];
+    for file in &files {
+        report.files += 1;
+        let rel = relative(root, file);
+        let source = std::fs::read_to_string(file)?;
+        let lines: Vec<&str> = source.lines().collect();
+        let ctx = rules::FileContext {
+            path: &rel,
+            lines: &lines,
+            panic_path: path_in_scope(&rel, &cfg.panic_paths),
+            cast_sanctioned: path_in_scope(&rel, &cfg.cast_sanctioned),
+        };
+        let toks = lexer::lex(&source);
+        for finding in rules::lint_tokens(&toks, &ctx) {
+            match cfg.allows.iter().position(|a| allow_matches(a, &finding)) {
+                Some(idx) => {
+                    // `idx < used.len()` by construction; stay panic-free
+                    // on our own serving path all the same.
+                    if let Some(slot) = used.get_mut(idx) {
+                        *slot = true;
+                    }
+                    report.suppressed += 1;
+                }
+                None => report.findings.push(finding),
+            }
+        }
+    }
+    report.stale_allows =
+        cfg.allows.iter().zip(&used).filter(|(_, &u)| !u).map(|(a, _)| a.clone()).collect();
+    report.findings.sort_by(|a, b| (&a.path, a.line, a.col).cmp(&(&b.path, b.line, b.col)));
+    Ok(report)
+}
+
+/// Whether `rel` equals a scope entry or lives under a scope directory.
+fn path_in_scope(rel: &str, scope: &[String]) -> bool {
+    scope.iter().any(|s| rel == s || rel.starts_with(&format!("{s}/")))
+}
+
+/// Whether one allowlist entry covers one finding.
+fn allow_matches(entry: &AllowEntry, finding: &Finding) -> bool {
+    if entry.rule != finding.rule {
+        return false;
+    }
+    if finding.path != entry.path && !finding.path.starts_with(&format!("{}/", entry.path)) {
+        return false;
+    }
+    match &entry.contains {
+        Some(needle) => finding.line_text.contains(needle),
+        None => true,
+    }
+}
+
+/// Recursively gathers `.rs` files, in sorted order, skipping `skip_dirs`
+/// by directory name. A scope entry may also name a single file.
+fn collect(path: &Path, skip_dirs: &[String], out: &mut BTreeSet<PathBuf>) -> io::Result<()> {
+    if path.is_file() {
+        if path.extension().is_some_and(|e| e == "rs") {
+            out.insert(path.to_path_buf());
+        }
+        return Ok(());
+    }
+    if !path.is_dir() {
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("scope root {} does not exist", path.display()),
+        ));
+    }
+    let mut entries: Vec<PathBuf> =
+        std::fs::read_dir(path)?.map(|e| e.map(|e| e.path())).collect::<io::Result<_>>()?;
+    entries.sort();
+    for entry in entries {
+        if entry.is_dir() {
+            let name = entry.file_name().and_then(|n| n.to_str()).unwrap_or_default();
+            if skip_dirs.iter().any(|s| s == name) {
+                continue;
+            }
+            collect(&entry, skip_dirs, out)?;
+        } else if entry.extension().is_some_and(|e| e == "rs") {
+            out.insert(entry);
+        }
+    }
+    Ok(())
+}
+
+/// `file` relative to `root`, with forward slashes.
+fn relative(root: &Path, file: &Path) -> String {
+    let rel = file.strip_prefix(root).unwrap_or(file);
+    rel.components().map(|c| c.as_os_str().to_string_lossy()).collect::<Vec<_>>().join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_snippet(src: &str, panic_path: bool) -> Vec<Finding> {
+        let lines: Vec<&str> = src.lines().collect();
+        let ctx = rules::FileContext {
+            path: "mem.rs",
+            lines: &lines,
+            panic_path,
+            cast_sanctioned: false,
+        };
+        rules::lint_tokens(&lexer::lex(src), &ctx)
+    }
+
+    #[test]
+    fn cfg_test_items_are_exempt_everywhere() {
+        let src = r#"
+            #[cfg(test)]
+            mod tests {
+                fn f(map: HashMap<u32, u32>) {
+                    for v in map.values() { let _ = v; }
+                    let t = std::time::Instant::now();
+                    let x: Option<u32> = None;
+                    x.unwrap();
+                }
+            }
+        "#;
+        assert!(lint_snippet(src, true).is_empty());
+    }
+
+    #[test]
+    fn hash_lookup_is_legal_iteration_is_not() {
+        let src = r#"
+            fn f(map: HashMap<u32, u32>) -> Option<&u32> {
+                map.get(&3)
+            }
+            fn g(map: HashMap<u32, u32>) {
+                for (k, v) in map.iter() { let _ = (k, v); }
+            }
+        "#;
+        let findings = lint_snippet(src, false);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, "determinism/hash-iteration");
+        assert_eq!(findings[0].line, 6);
+    }
+
+    #[test]
+    fn allow_matching_respects_rule_path_and_contains() {
+        let entry = AllowEntry {
+            rule: "determinism/wall-clock".into(),
+            path: "crates/core/src".into(),
+            contains: Some("Instant::now".into()),
+            reason: "report-only".into(),
+        };
+        let mut finding = Finding {
+            rule: "determinism/wall-clock",
+            path: "crates/core/src/ssa.rs".into(),
+            line: 1,
+            col: 1,
+            message: String::new(),
+            line_text: "let t0 = Instant::now();".into(),
+        };
+        assert!(allow_matches(&entry, &finding));
+        finding.line_text = "let t0 = clock();".into();
+        assert!(!allow_matches(&entry, &finding));
+        finding.line_text = "let t0 = Instant::now();".into();
+        finding.path = "crates/rrset/src/store.rs".into();
+        assert!(!allow_matches(&entry, &finding));
+    }
+
+    #[test]
+    fn enumerate_binding_narrowing_is_flagged() {
+        let src = r#"
+            fn f(xs: &[u32]) {
+                for (i, x) in xs.iter().enumerate() {
+                    let _ = (i as u32, x);
+                }
+            }
+        "#;
+        let findings = lint_snippet(src, false);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, "casts/lossy");
+    }
+
+    #[test]
+    fn poison_recovery_idiom_is_not_flagged() {
+        let src = r#"
+            fn f(guard: LockResult<MutexGuard<'_, u32>>) {
+                let g = guard.unwrap_or_else(PoisonError::into_inner);
+                let _ = g;
+            }
+        "#;
+        assert!(lint_snippet(src, true).is_empty());
+    }
+}

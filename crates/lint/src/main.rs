@@ -1,0 +1,118 @@
+//! `sns-lint` CLI — the CI gate.
+//!
+//! ```text
+//! cargo run -p sns-lint              # lint the workspace (root auto-found)
+//! cargo run -p sns-lint -- --root X  # lint an explicit tree
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings or stale allowlist entries,
+//! `2` configuration error (missing/unparsable `lint-allow.toml`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = Some(PathBuf::from(v)),
+                None => {
+                    eprintln!("sns-lint: --root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "sns-lint: workspace determinism & safety analyzer\n\
+                     \n\
+                     usage: sns-lint [--root <dir>]\n\
+                     \n\
+                     Walks the source trees named in <root>/lint-allow.toml and\n\
+                     enforces the determinism, cast-width, and panic-path rules.\n\
+                     Without --root, searches upward from the current directory\n\
+                     for lint-allow.toml.\n\
+                     \n\
+                     exit codes: 0 clean, 1 findings, 2 config error"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("sns-lint: unknown argument {other:?} (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root.or_else(discover_root) {
+        Some(r) => r,
+        None => {
+            eprintln!(
+                "sns-lint: no lint-allow.toml found here or in any parent directory \
+                 (pass --root to point at the workspace)"
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    let cfg = match sns_lint::load_config(&root) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("sns-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match sns_lint::run(&root, &cfg) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("sns-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for finding in &report.findings {
+        eprintln!("{finding}");
+        eprintln!("    | {}", finding.line_text);
+    }
+    for stale in &report.stale_allows {
+        eprintln!(
+            "lint-allow.toml: stale [[allow]] entry matches nothing: rule = {:?}, path = {:?}{} \
+             — remove it (reason was: {})",
+            stale.rule,
+            stale.path,
+            stale.contains.as_ref().map(|c| format!(", contains = {c:?}")).unwrap_or_default(),
+            stale.reason
+        );
+    }
+
+    if report.clean() {
+        println!(
+            "sns-lint: clean — {} files, {} sanctioned exemption(s) in use",
+            report.files, report.suppressed
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "sns-lint: {} finding(s), {} stale allowlist entr(y/ies) across {} files",
+            report.findings.len(),
+            report.stale_allows.len(),
+            report.files
+        );
+        ExitCode::from(1)
+    }
+}
+
+/// Searches upward from the current directory for `lint-allow.toml`.
+fn discover_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("lint-allow.toml").is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

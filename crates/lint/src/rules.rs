@@ -1,0 +1,586 @@
+//! The three rule families of the determinism & safety contract.
+//!
+//! * **`determinism/*`** — no wall-clock reads, no hash-order iteration,
+//!   no ambient randomness, no environment-dependent values on
+//!   deterministic paths. Keyed `HashMap`/`HashSet` lookup stays legal;
+//!   *iteration* must go through `BTreeMap` or a sorted drain.
+//! * **`casts/lossy`** — potentially width-lossy `as` casts
+//!   (`u64→u32`, `usize→u32`, `f64→uN`, …) outside the sanctioned
+//!   checked-conversion helpers.
+//! * **`panics/*`** — no `unwrap`/`expect`/`panic!`-family macros and no
+//!   unchecked non-literal indexing in the serving-path files.
+//!
+//! All rules are *lexical taint heuristics* over the token stream from
+//! [`crate::lexer`] plus the `#[cfg(test)]` outline computed here — a
+//! deliberately simple design (no `syn`, no type inference) whose
+//! behavior is pinned by the fixture corpus in `tests/fixtures/`. The
+//! cast and hash-iteration rules track variable classes from type
+//! annotations (`let x: u64`, fields, params, `= HashMap::new()`,
+//! `.enumerate()` loop bindings), so an untracked expression is never
+//! flagged: the rules err toward silence, and the paired `clippy.toml`
+//! `disallowed-types`/`disallowed-methods` layer catches what a purely
+//! lexical view cannot.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::{Tok, TokKind};
+use crate::Finding;
+
+/// What the taint tracker knows about an identifier (file-global — the
+/// heuristic does not model scopes; fixtures pin the consequences).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VarClass {
+    /// 64-bit-or-wider integer (`u64`, `usize`, `i64`, `isize`, `u128`,
+    /// `i128`): narrowing below 32 bits of value range is flagged.
+    WideInt,
+    /// Floating point: any `as` to an integer type truncates.
+    Float,
+    /// `HashMap` / `HashSet`: iteration order is nondeterministic.
+    Hash,
+}
+
+const WIDE_INTS: &[&str] = &["u64", "usize", "i64", "isize", "u128", "i128"];
+const FLOATS: &[&str] = &["f64", "f32"];
+const HASH_TYPES: &[&str] = &["HashMap", "HashSet"];
+/// Narrow integer targets a wide source must not `as`-cast into.
+const NARROW_INTS: &[&str] = &["u32", "i32", "u16", "i16", "u8", "i8"];
+/// Integer targets a float source must not `as`-cast into.
+const INT_TARGETS: &[&str] =
+    &["u64", "usize", "u32", "u16", "u8", "i64", "isize", "i32", "i16", "i8", "u128", "i128"];
+/// Methods whose call on a hash collection observes iteration order.
+const HASH_ITER_METHODS: &[&str] =
+    &["iter", "iter_mut", "into_iter", "keys", "values", "values_mut", "drain", "retain"];
+
+/// Computes the `#[cfg(test)]` / `#[test]` regions of the token stream
+/// as half-open token-index ranges. An attribute whose bracket group
+/// mentions `test` (and not `not`) marks the item that follows — through
+/// its matching close brace — as test code, which every rule skips.
+pub fn test_spans(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !(toks[i].is_punct('#') && matches!(toks.get(i + 1), Some(t) if t.is_punct('['))) {
+            i += 1;
+            continue;
+        }
+        let attr_start = i;
+        let Some(group_end) = matching(toks, i + 1, '[', ']') else { break };
+        let group = &toks[i + 2..group_end];
+        let has = |s: &str| group.iter().any(|t| t.is_ident(s));
+        let is_test_attr = has("test") && !has("not");
+        i = group_end + 1;
+        if !is_test_attr {
+            continue;
+        }
+        // Skip any further attributes between the test marker and the
+        // item itself.
+        while i < toks.len()
+            && toks[i].is_punct('#')
+            && matches!(toks.get(i + 1), Some(t) if t.is_punct('['))
+        {
+            match matching(toks, i + 1, '[', ']') {
+                Some(end) => i = end + 1,
+                None => return spans,
+            }
+        }
+        // Find the item body: the first `{` at delimiter depth 0 (or a
+        // `;`, for body-less items like `#[cfg(test)] use …;`).
+        let mut depth = 0i32;
+        let mut body = None;
+        let mut j = i;
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "{" if depth == 0 => {
+                        body = Some(j);
+                        break;
+                    }
+                    ";" if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        if let Some(open) = body {
+            if let Some(close) = matching(toks, open, '{', '}') {
+                spans.push((attr_start, close + 1));
+                i = close + 1;
+                continue;
+            }
+        }
+        i = j + 1;
+    }
+    spans
+}
+
+/// Index of the delimiter matching `toks[open]` (`open_c` … `close_c`).
+fn matching(toks: &[Tok], open: usize, open_c: char, close_c: char) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct(open_c) {
+            depth += 1;
+        } else if t.is_punct(close_c) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+fn in_spans(spans: &[(usize, usize)], i: usize) -> bool {
+    spans.iter().any(|&(s, e)| s <= i && i < e)
+}
+
+/// Builds the identifier → class taint map from type annotations,
+/// constructor assignments, and `for`-loop bindings.
+fn track_types(toks: &[Tok]) -> BTreeMap<String, VarClass> {
+    let mut classes = BTreeMap::new();
+    let class_of = |name: &str| {
+        if WIDE_INTS.contains(&name) {
+            Some(VarClass::WideInt)
+        } else if FLOATS.contains(&name) {
+            Some(VarClass::Float)
+        } else if HASH_TYPES.contains(&name) {
+            Some(VarClass::Hash)
+        } else {
+            None
+        }
+    };
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        // `name : Type` — but not `name :: path`.
+        if matches!(toks.get(i + 1), Some(c) if c.is_punct(':'))
+            && !matches!(toks.get(i + 2), Some(c) if c.is_punct(':'))
+        {
+            if let Some(ty) = leading_type_ident(toks, i + 2) {
+                if let Some(class) = class_of(&ty) {
+                    classes.insert(t.text.clone(), class);
+                }
+            }
+        }
+        // `name = HashMap::new()` / `= collections::HashSet::with_capacity(…)`.
+        if matches!(toks.get(i + 1), Some(c) if c.is_punct('='))
+            && !matches!(toks.get(i + 2), Some(c) if c.is_punct('='))
+            && HASH_TYPES.iter().any(|ty| toks.path_segment_at(i + 2, ty))
+        {
+            classes.insert(t.text.clone(), VarClass::Hash);
+        }
+        // `for (idx, x) in …enumerate()` / `for id in … usize …` — range
+        // and iterator loop bindings are usize.
+        if t.is_ident("for") {
+            let Some(var) = loop_binding(toks, i + 1) else { continue };
+            // Find `in`, then the body `{`, bounded to the same line
+            // neighborhood (100 tokens is far beyond any real header).
+            let mut j = i + 1;
+            let mut in_at = None;
+            while j < toks.len() && j < i + 100 {
+                if toks[j].is_ident("in") {
+                    in_at = Some(j);
+                    break;
+                }
+                j += 1;
+            }
+            let Some(in_at) = in_at else { continue };
+            let mut depth = 0i32;
+            let mut k = in_at + 1;
+            let mut header_has = false;
+            while k < toks.len() {
+                let tk = &toks[k];
+                if tk.kind == TokKind::Punct {
+                    match tk.text.as_str() {
+                        "(" | "[" => depth += 1,
+                        ")" | "]" => depth -= 1,
+                        "{" if depth == 0 => break,
+                        _ => {}
+                    }
+                }
+                if tk.is_ident("enumerate") || tk.is_ident("usize") {
+                    header_has = true;
+                }
+                k += 1;
+            }
+            if header_has {
+                classes.insert(var, VarClass::WideInt);
+            }
+        }
+    }
+    classes
+}
+
+/// Extension trait: checks the tokens at `start` form a path expression
+/// (`Seg :: … ::`) with `want` as one of its `::`-qualified segments —
+/// `HashMap :: new` and `std :: collections :: HashMap :: new` both
+/// contain the segment `HashMap`, a bare `HashMap` alone does not.
+trait PathCheck {
+    fn path_segment_at(&self, start: usize, want: &str) -> bool;
+}
+
+impl PathCheck for [Tok] {
+    fn path_segment_at(&self, start: usize, want: &str) -> bool {
+        let mut j = start;
+        loop {
+            let Some(t) = self.get(j) else { return false };
+            if t.kind != TokKind::Ident {
+                return false;
+            }
+            let double_colon = matches!(self.get(j + 1), Some(c) if c.is_punct(':'))
+                && matches!(self.get(j + 2), Some(c) if c.is_punct(':'));
+            if !double_colon {
+                return false;
+            }
+            if t.text == want {
+                return true;
+            }
+            j += 3;
+        }
+    }
+}
+
+/// The first bound identifier of a `for` pattern starting at `start`
+/// (`for x in`, `for (i, x) in`, `for &mut x in` → `x` / `i`).
+fn loop_binding(toks: &[Tok], start: usize) -> Option<String> {
+    let mut j = start;
+    while matches!(toks.get(j), Some(t) if t.is_punct('(') || t.is_punct('&') || t.is_ident("mut"))
+    {
+        j += 1;
+    }
+    let t = toks.get(j)?;
+    (t.kind == TokKind::Ident && t.text != "_").then(|| t.text.clone())
+}
+
+/// The first meaningful type identifier at `start`: skips `&`, `mut`,
+/// and path prefixes (`std :: collections :: HashMap` → `HashMap`).
+fn leading_type_ident(toks: &[Tok], start: usize) -> Option<String> {
+    let mut j = start;
+    while matches!(toks.get(j), Some(t) if t.is_punct('&') || t.is_ident("mut") || t.kind == TokKind::Lifetime)
+    {
+        j += 1;
+    }
+    loop {
+        let t = toks.get(j)?;
+        if t.kind != TokKind::Ident {
+            return None;
+        }
+        if matches!(toks.get(j + 1), Some(c) if c.is_punct(':'))
+            && matches!(toks.get(j + 2), Some(c) if c.is_punct(':'))
+        {
+            j += 3;
+            continue;
+        }
+        return Some(t.text.clone());
+    }
+}
+
+/// Context for one file's rule run.
+pub struct FileContext<'a> {
+    /// Workspace-relative path (forward slashes).
+    pub path: &'a str,
+    /// Source lines, for diagnostics and allowlist `contains` matching.
+    pub lines: &'a [&'a str],
+    /// Whether the panic-path family applies to this file.
+    pub panic_path: bool,
+    /// Whether `as` casts in this file are sanctioned (checked-conversion
+    /// helper modules).
+    pub cast_sanctioned: bool,
+}
+
+impl FileContext<'_> {
+    fn finding(&self, rule: &'static str, tok: &Tok, message: String) -> Finding {
+        let line_text =
+            self.lines.get(tok.line as usize - 1).map(|l| l.trim().to_string()).unwrap_or_default();
+        Finding {
+            rule,
+            path: self.path.to_string(),
+            line: tok.line,
+            col: tok.col,
+            message,
+            line_text,
+        }
+    }
+}
+
+/// Runs every applicable rule family over one lexed file.
+pub fn lint_tokens(toks: &[Tok], ctx: &FileContext<'_>) -> Vec<Finding> {
+    let spans = test_spans(toks);
+    let classes = track_types(toks);
+    let mut findings = Vec::new();
+    determinism(toks, &spans, &classes, ctx, &mut findings);
+    if !ctx.cast_sanctioned {
+        casts(toks, &spans, &classes, ctx, &mut findings);
+    }
+    if ctx.panic_path {
+        panics(toks, &spans, ctx, &mut findings);
+    }
+    findings.sort_by_key(|f| (f.line, f.col));
+    findings
+}
+
+/// `determinism/*`: wall clock, ambient RNG, environment reads, and
+/// hash-order iteration.
+fn determinism(
+    toks: &[Tok],
+    spans: &[(usize, usize)],
+    classes: &BTreeMap<String, VarClass>,
+    ctx: &FileContext<'_>,
+    out: &mut Vec<Finding>,
+) {
+    let path_call = |i: usize, head: &str, tails: &[&str]| -> bool {
+        toks[i].is_ident(head)
+            && matches!(toks.get(i + 1), Some(t) if t.is_punct(':'))
+            && matches!(toks.get(i + 2), Some(t) if t.is_punct(':'))
+            && matches!(toks.get(i + 3), Some(t) if t.kind == TokKind::Ident
+                && tails.contains(&t.text.as_str()))
+    };
+    for i in 0..toks.len() {
+        if in_spans(spans, i) || toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        let t = &toks[i];
+        // Wall clock.
+        if path_call(i, "Instant", &["now"]) {
+            out.push(
+                ctx.finding(
+                    "determinism/wall-clock",
+                    t,
+                    "Instant::now() on a deterministic path — wall-clock reads may only feed \
+                 report-only metadata (allowlist with a reason if so)"
+                        .into(),
+                ),
+            );
+        }
+        if t.is_ident("SystemTime") || t.is_ident("UNIX_EPOCH") {
+            out.push(ctx.finding(
+                "determinism/wall-clock",
+                t,
+                format!("{} on a deterministic path — system time is nondeterministic", t.text),
+            ));
+        }
+        // Ambient randomness.
+        if t.is_ident("thread_rng") || t.is_ident("ThreadRng") || t.is_ident("from_entropy") {
+            out.push(ctx.finding(
+                "determinism/rng",
+                t,
+                format!(
+                    "{} draws OS entropy — all randomness must come from seeded streams",
+                    t.text
+                ),
+            ));
+        }
+        if path_call(i, "rand", &["random"]) {
+            out.push(ctx.finding(
+                "determinism/rng",
+                t,
+                "rand::random draws OS entropy — use the seeded sampling context".into(),
+            ));
+        }
+        // Environment reads.
+        if path_call(i, "env", &["var", "vars", "var_os", "vars_os"]) {
+            out.push(ctx.finding(
+                "determinism/env",
+                t,
+                "environment read on a deterministic path — results must not depend on env".into(),
+            ));
+        }
+        if t.is_ident("available_parallelism") {
+            out.push(
+                ctx.finding(
+                    "determinism/env",
+                    t,
+                    "available_parallelism() is environment-dependent — it may schedule work but \
+                 must never influence results (allowlist with that argument if so)"
+                        .into(),
+                ),
+            );
+        }
+        // Hash-order iteration: `tracked.iter()` and friends.
+        if classes.get(&t.text) == Some(&VarClass::Hash)
+            && matches!(toks.get(i + 1), Some(p) if p.is_punct('.'))
+            && matches!(toks.get(i + 2), Some(m) if m.kind == TokKind::Ident
+                && HASH_ITER_METHODS.contains(&m.text.as_str()))
+        {
+            let method = &toks[i + 2].text;
+            out.push(ctx.finding(
+                "determinism/hash-iteration",
+                t,
+                format!(
+                    "`{}.{method}(…)` iterates a hash collection — order is nondeterministic; \
+                     use BTreeMap/BTreeSet or drain into a sorted Vec (keyed lookup is fine)",
+                    t.text
+                ),
+            ));
+        }
+        // `for x in &tracked {` — direct iteration.
+        if t.is_ident("in") {
+            let mut j = i + 1;
+            while matches!(toks.get(j), Some(p) if p.is_punct('&') || p.is_ident("mut")) {
+                j += 1;
+            }
+            if let Some(v) = toks.get(j) {
+                if v.kind == TokKind::Ident
+                    && classes.get(&v.text) == Some(&VarClass::Hash)
+                    && matches!(toks.get(j + 1), Some(b) if b.is_punct('{'))
+                {
+                    out.push(ctx.finding(
+                        "determinism/hash-iteration",
+                        v,
+                        format!(
+                            "`for … in {}` iterates a hash collection — order is \
+                             nondeterministic; use BTreeMap/BTreeSet or a sorted drain",
+                            v.text
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// `casts/lossy`: width-narrowing and float→int `as` casts on tracked
+/// values, plus the `.len() as <narrow>` pattern.
+fn casts(
+    toks: &[Tok],
+    spans: &[(usize, usize)],
+    classes: &BTreeMap<String, VarClass>,
+    ctx: &FileContext<'_>,
+    out: &mut Vec<Finding>,
+) {
+    for i in 0..toks.len() {
+        if in_spans(spans, i) || !toks[i].is_ident("as") {
+            continue;
+        }
+        let Some(target) = toks.get(i + 1) else { continue };
+        if target.kind != TokKind::Ident {
+            continue;
+        }
+        let target_ty = target.text.as_str();
+        // `….len() as <narrow>`: usize → narrow.
+        let len_call = i >= 4
+            && toks[i - 1].is_punct(')')
+            && toks[i - 2].is_punct('(')
+            && toks[i - 3].is_ident("len")
+            && toks[i - 4].is_punct('.');
+        if len_call && NARROW_INTS.contains(&target_ty) {
+            out.push(ctx.finding(
+                "casts/lossy",
+                &toks[i],
+                format!(
+                    ".len() as {target_ty} can truncate (usize → {target_ty}) — use a checked \
+                     conversion helper"
+                ),
+            ));
+            continue;
+        }
+        // `tracked as <type>`.
+        if i == 0 || toks[i - 1].kind != TokKind::Ident {
+            continue;
+        }
+        let src = &toks[i - 1];
+        match classes.get(&src.text) {
+            Some(VarClass::WideInt) if NARROW_INTS.contains(&target_ty) => {
+                out.push(ctx.finding(
+                    "casts/lossy",
+                    src,
+                    format!(
+                        "`{} as {target_ty}` narrows a 64-bit-class integer — use a checked \
+                         conversion helper or the CsrOffsets width machinery",
+                        src.text
+                    ),
+                ));
+            }
+            Some(VarClass::Float) if INT_TARGETS.contains(&target_ty) => {
+                out.push(ctx.finding(
+                    "casts/lossy",
+                    src,
+                    format!(
+                        "`{} as {target_ty}` truncates a float — round explicitly and convert \
+                         through a checked helper",
+                        src.text
+                    ),
+                ));
+            }
+            _ => {}
+        }
+    }
+}
+
+/// `panics/*`: unwrap/expect, panic-family macros, and non-literal
+/// indexing in the serving-path files.
+fn panics(toks: &[Tok], spans: &[(usize, usize)], ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    for i in 0..toks.len() {
+        if in_spans(spans, i) {
+            continue;
+        }
+        let t = &toks[i];
+        // `.unwrap()` / `.expect(` / `.unwrap_err()` — exact method names;
+        // `unwrap_or_else(PoisonError::into_inner)` is the sanctioned
+        // poison-recovery idiom and does not match.
+        if t.kind == TokKind::Ident
+            && matches!(t.text.as_str(), "unwrap" | "expect" | "unwrap_err" | "expect_err")
+            && i > 0
+            && toks[i - 1].is_punct('.')
+            && matches!(toks.get(i + 1), Some(p) if p.is_punct('('))
+        {
+            out.push(ctx.finding(
+                "panics/unwrap",
+                t,
+                format!(
+                    ".{}() on a serving path — return a typed error (or allowlist a documented \
+                     impossibility with its proof)",
+                    t.text
+                ),
+            ));
+        }
+        // panic-family macros.
+        if t.kind == TokKind::Ident
+            && matches!(t.text.as_str(), "panic" | "unreachable" | "todo" | "unimplemented")
+            && matches!(toks.get(i + 1), Some(p) if p.is_punct('!'))
+        {
+            out.push(ctx.finding(
+                "panics/panic",
+                t,
+                format!("{}!() on a serving path — return a typed error instead", t.text),
+            ));
+        }
+        // Non-literal indexing: `recv[expr]` where recv is an ident /
+        // call / index result and expr is not a bare integer literal.
+        // A keyword before `[` (`let [a, b] = …`, `for [x, y] in …`)
+        // starts a slice *pattern*, not an index expression.
+        const NON_RECEIVER_KEYWORDS: &[&str] = &[
+            "let", "mut", "ref", "in", "if", "else", "match", "return", "break", "continue",
+            "move", "while", "loop", "for", "as", "where",
+        ];
+        if t.is_punct('[')
+            && i > 0
+            && (matches!(&toks[i - 1], p if p.kind == TokKind::Ident
+                && !NON_RECEIVER_KEYWORDS.contains(&p.text.as_str()))
+                || toks[i - 1].is_punct(')')
+                || toks[i - 1].is_punct(']'))
+        {
+            // Attribute `#[…]` never matches (the `#` is punct, and the
+            // receiver check above already excludes it).
+            let Some(close) = matching(toks, i, '[', ']') else { continue };
+            let inner = &toks[i + 1..close];
+            let literal_only = inner.len() == 1 && inner[0].kind == TokKind::Num;
+            if inner.is_empty() || literal_only {
+                continue;
+            }
+            out.push(
+                ctx.finding(
+                    "panics/index",
+                    t,
+                    "non-literal indexing on a serving path — use .get()/.get_mut() with a typed \
+                 error, or allowlist with the bounds proof"
+                        .into(),
+                ),
+            );
+        }
+    }
+}

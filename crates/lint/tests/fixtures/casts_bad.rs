@@ -1,0 +1,11 @@
+//! Fixture: every casts/lossy pattern must fire on this file.
+//! Line numbers are asserted exactly by `tests/linter.rs`.
+
+pub fn narrowings(total: u64, frac: f64, items: &[u8]) -> u32 {
+    let a = total as u32; // line 5: casts/lossy (u64 -> u32)
+    let b = items.len() as u32; // line 6: casts/lossy (.len() -> u32)
+    let c = frac as u32; // line 7: casts/lossy (float -> int)
+    let idx: usize = 7;
+    let d = idx as u16; // line 9: casts/lossy (usize -> u16)
+    a + b + c + u32::from(d)
+}

@@ -1,0 +1,10 @@
+//! Fixture: conversions the casts/lossy rule must NOT flag.
+
+pub fn widenings(small: u32, n: usize, x: f32) -> u64 {
+    let wide = small as u64; // widening is always fine
+    let native = small as usize; // narrow -> usize is fine
+    let arena = n as u64; // usize -> u64 is fine
+    let promoted = x as f64; // float widening is fine
+    let checked = u32::try_from(n).unwrap_or(u32::MAX); // the sanctioned idiom
+    wide + native as u64 + arena + promoted as u64 + u64::from(checked)
+}

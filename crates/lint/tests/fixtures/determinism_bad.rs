@@ -1,0 +1,25 @@
+//! Fixture: every determinism rule must fire on this file.
+//! Line numbers are asserted exactly by `tests/linter.rs` — keep them stable.
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn taints() -> u64 {
+    let t = Instant::now(); // line 7: determinism/wall-clock
+    let epoch = std::time::SystemTime::now(); // line 8: determinism/wall-clock
+    let mut rng = rand::thread_rng(); // line 9: determinism/rng
+    let home = std::env::var("HOME"); // line 10: determinism/env
+    let workers = std::thread::available_parallelism(); // line 11: determinism/env
+    let mut m: HashMap<u32, u64> = HashMap::new();
+    m.insert(1, 2);
+    let mut sum = 0;
+    for (_k, v) in m.iter() {
+        // line 15: determinism/hash-iteration
+        sum += v;
+    }
+    for k in m.keys() {
+        // line 19: determinism/hash-iteration
+        sum += k as u64;
+    }
+    let _ = (t, epoch, rng, home, workers);
+    sum
+}

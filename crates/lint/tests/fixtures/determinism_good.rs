@@ -1,0 +1,36 @@
+//! Fixture: legal patterns the determinism rules must NOT flag.
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+pub fn clean(seed: u64) -> u64 {
+    // Keyed HashMap lookups are legal — only *iteration* is order-tainted.
+    let mut m: HashMap<u32, u64> = HashMap::new();
+    m.insert(1, seed);
+    let direct = m.get(&1).copied().unwrap_or(0);
+    let had = m.contains_key(&1);
+
+    // BTreeMap iteration is ordered and fine.
+    let mut b: BTreeMap<u32, u64> = BTreeMap::new();
+    b.insert(2, seed);
+    let mut sum = 0;
+    for (_k, v) in b.iter() {
+        sum += v;
+    }
+
+    // Seeded RNG is the deterministic idiom.
+    let _rng_seed = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    sum + direct + u64::from(had)
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant;
+
+    #[test]
+    fn tests_may_use_the_wall_clock() {
+        // #[cfg(test)] items are exempt from every rule.
+        let t = Instant::now();
+        let mut rng = rand::thread_rng();
+        let _ = (t, &mut rng, std::env::var("HOME"));
+    }
+}

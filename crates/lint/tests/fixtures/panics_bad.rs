@@ -1,0 +1,15 @@
+//! Fixture: every panic-path rule must fire on this file (when linted as
+//! a serving file). Line numbers are asserted exactly by `tests/linter.rs`.
+
+pub fn serving(values: &[u64], slot: usize) -> u64 {
+    let first = values.first().unwrap(); // line 5: panics/unwrap
+    let second = values.get(1).expect("second value"); // line 6: panics/unwrap
+    if values.is_empty() {
+        panic!("empty batch"); // line 8: panics/panic
+    }
+    if slot > values.len() {
+        unreachable!(); // line 11: panics/panic
+    }
+    let third = values[slot]; // line 13: panics/index
+    first + second + third
+}

@@ -1,0 +1,25 @@
+//! Fixture: serving-path idioms the panic rules must NOT flag.
+use std::sync::{Mutex, PoisonError};
+
+pub fn serving(values: &[u64], slot: usize, lock: &Mutex<u64>) -> u64 {
+    // ? / let-else / get are the sanctioned fallible idioms.
+    let Some(first) = values.first() else { return 0 };
+    let second = values.get(slot).copied().unwrap_or(0);
+    // Literal indexing of a fixed-shape value is allowed.
+    let pair = [1u64, 2u64];
+    let fixed = pair[0];
+    // Poison recovery is allowed: it cannot panic.
+    let guarded = *lock.lock().unwrap_or_else(PoisonError::into_inner);
+    first + second + fixed + guarded
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v = vec![1u64];
+        assert_eq!(v.first().unwrap(), &1); // exempt: #[cfg(test)]
+        let i = 0usize;
+        assert_eq!(v[i], 1); // exempt: #[cfg(test)]
+    }
+}

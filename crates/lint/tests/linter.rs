@@ -1,0 +1,145 @@
+//! Fixture self-tests: each rule family must fire on its `*_bad.rs`
+//! fixture at exactly the asserted (rule, line) pairs and stay silent on
+//! its `*_good.rs` fixture. This is what keeps the linter honest — a
+//! lexer regression that silences a rule breaks these before it silently
+//! waves real violations through.
+
+use sns_lint::rules::{lint_tokens, FileContext};
+use sns_lint::{lexer, Finding};
+
+fn lint_fixture(source: &str, panic_path: bool) -> Vec<Finding> {
+    let lines: Vec<&str> = source.lines().collect();
+    let ctx = FileContext { path: "fixture.rs", lines: &lines, panic_path, cast_sanctioned: false };
+    lint_tokens(&lexer::lex(source), &ctx)
+}
+
+fn rule_lines(findings: &[Finding]) -> Vec<(&str, u32)> {
+    findings.iter().map(|f| (f.rule, f.line)).collect()
+}
+
+#[test]
+fn determinism_bad_fires_every_rule() {
+    let findings = lint_fixture(include_str!("fixtures/determinism_bad.rs"), false);
+    assert_eq!(
+        rule_lines(&findings),
+        vec![
+            ("determinism/wall-clock", 7),
+            ("determinism/wall-clock", 8),
+            ("determinism/rng", 9),
+            ("determinism/env", 10),
+            ("determinism/env", 11),
+            ("determinism/hash-iteration", 15),
+            ("determinism/hash-iteration", 19),
+        ],
+        "findings: {findings:#?}"
+    );
+}
+
+#[test]
+fn determinism_good_is_silent() {
+    let findings = lint_fixture(include_str!("fixtures/determinism_good.rs"), false);
+    assert!(findings.is_empty(), "false positives: {findings:#?}");
+}
+
+#[test]
+fn casts_bad_fires_every_pattern() {
+    let findings = lint_fixture(include_str!("fixtures/casts_bad.rs"), false);
+    assert_eq!(
+        rule_lines(&findings),
+        vec![("casts/lossy", 5), ("casts/lossy", 6), ("casts/lossy", 7), ("casts/lossy", 9)],
+        "findings: {findings:#?}"
+    );
+}
+
+#[test]
+fn casts_good_is_silent() {
+    let findings = lint_fixture(include_str!("fixtures/casts_good.rs"), false);
+    assert!(findings.is_empty(), "false positives: {findings:#?}");
+}
+
+#[test]
+fn panics_bad_fires_every_rule_on_serving_files() {
+    let findings = lint_fixture(include_str!("fixtures/panics_bad.rs"), true);
+    assert_eq!(
+        rule_lines(&findings),
+        vec![
+            ("panics/unwrap", 5),
+            ("panics/unwrap", 6),
+            ("panics/panic", 8),
+            ("panics/panic", 11),
+            ("panics/index", 13),
+        ],
+        "findings: {findings:#?}"
+    );
+}
+
+#[test]
+fn panics_good_is_silent_on_serving_files() {
+    let findings = lint_fixture(include_str!("fixtures/panics_good.rs"), true);
+    assert!(findings.is_empty(), "false positives: {findings:#?}");
+}
+
+#[test]
+fn panic_rules_only_apply_to_serving_files() {
+    // The same source linted as a non-serving file keeps unwrap/indexing.
+    let findings = lint_fixture(include_str!("fixtures/panics_bad.rs"), false);
+    assert!(findings.is_empty(), "panic rules leaked outside serving files: {findings:#?}");
+}
+
+#[test]
+fn allow_entry_without_reason_is_a_config_error() {
+    let cfg = "[scope]\ndeterministic = [\"src\"]\n\n[[allow]]\nrule = \"determinism/wall-clock\"\npath = \"src/a.rs\"\n";
+    let err = sns_lint::config::parse(cfg).expect_err("missing reason must be rejected");
+    assert!(err.message.contains("reason"), "unexpected error: {err}");
+
+    let cfg_empty = "[scope]\ndeterministic = [\"src\"]\n\n[[allow]]\nrule = \"determinism/wall-clock\"\npath = \"src/a.rs\"\nreason = \"\"\n";
+    let err = sns_lint::config::parse(cfg_empty).expect_err("empty reason must be rejected");
+    assert!(err.message.contains("reason"), "unexpected error: {err}");
+}
+
+#[test]
+fn stale_allow_entries_are_reported() {
+    // Build a miniature workspace in the cargo test tmpdir: one clean
+    // file plus an allow entry that matches nothing.
+    let root = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("stale-allow-ws");
+    let src = root.join("src");
+    std::fs::create_dir_all(&src).expect("create temp workspace");
+    std::fs::write(src.join("lib.rs"), "pub fn f(x: u32) -> u64 { u64::from(x) }\n")
+        .expect("write source");
+    std::fs::write(
+        root.join("lint-allow.toml"),
+        "[scope]\ndeterministic = [\"src\"]\n\n[[allow]]\nrule = \"determinism/wall-clock\"\npath = \"src/lib.rs\"\nreason = \"left over from a deleted timer\"\n",
+    )
+    .expect("write config");
+
+    let cfg = sns_lint::load_config(&root).expect("config parses");
+    let report = sns_lint::run(&root, &cfg).expect("lint runs");
+    assert!(report.findings.is_empty(), "unexpected findings: {:#?}", report.findings);
+    assert_eq!(report.stale_allows.len(), 1, "stale entry must surface");
+    assert_eq!(report.stale_allows[0].path, "src/lib.rs");
+    assert!(!report.clean(), "a stale allow keeps the run dirty");
+}
+
+#[test]
+fn used_allow_entries_suppress_and_are_not_stale() {
+    let root = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("used-allow-ws");
+    let src = root.join("src");
+    std::fs::create_dir_all(&src).expect("create temp workspace");
+    std::fs::write(
+        src.join("lib.rs"),
+        "use std::time::Instant;\npub fn f() -> Instant { Instant::now() }\n",
+    )
+    .expect("write source");
+    std::fs::write(
+        root.join("lint-allow.toml"),
+        "[scope]\ndeterministic = [\"src\"]\n\n[[allow]]\nrule = \"determinism/wall-clock\"\npath = \"src/lib.rs\"\ncontains = \"Instant::now()\"\nreason = \"report-only timing in a fixture\"\n",
+    )
+    .expect("write config");
+
+    let cfg = sns_lint::load_config(&root).expect("config parses");
+    let report = sns_lint::run(&root, &cfg).expect("lint runs");
+    assert!(report.findings.is_empty(), "suppression failed: {:#?}", report.findings);
+    assert!(report.stale_allows.is_empty(), "used entry wrongly stale");
+    assert_eq!(report.suppressed, 1);
+    assert!(report.clean());
+}

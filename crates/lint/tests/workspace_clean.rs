@@ -1,0 +1,31 @@
+//! The workspace's own sources must pass the linter with zero findings
+//! and zero stale allowlist entries. Running this as a tier-1 test means
+//! `cargo test` alone enforces the determinism contract even where CI's
+//! dedicated static-analysis job is not wired up.
+
+use std::path::Path;
+
+#[test]
+fn workspace_sources_are_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint sits two levels below the workspace root");
+    assert!(root.join("lint-allow.toml").is_file(), "lint-allow.toml missing at {root:?}");
+
+    let cfg = sns_lint::load_config(root).expect("lint-allow.toml parses");
+    let report = sns_lint::run(root, &cfg).expect("workspace lints");
+
+    let mut complaints = String::new();
+    for f in &report.findings {
+        complaints.push_str(&format!("{f}\n"));
+    }
+    for a in &report.stale_allows {
+        complaints.push_str(&format!(
+            "stale allow entry: rule={} path={} (matched nothing — remove it)\n",
+            a.rule, a.path
+        ));
+    }
+    assert!(report.clean(), "workspace is not lint-clean:\n{complaints}");
+    assert!(report.files > 50, "suspiciously few files walked: {}", report.files);
+}

@@ -31,7 +31,7 @@ pub fn max_coverage_bucket(rc: &RrCollection, k: usize) -> CoverageResult {
     let mut pos: Vec<u32> = vec![0; n as usize];
     for v in 0..n {
         let g = gain[v as usize] as usize;
-        pos[v as usize] = buckets[g].len() as u32;
+        pos[v as usize] = crate::narrow::node_count(buckets[g].len());
         buckets[g].push(v);
     }
 
@@ -44,7 +44,7 @@ pub fn max_coverage_bucket(rc: &RrCollection, k: usize) -> CoverageResult {
                 let moved = buckets[from][idx];
                 pos[moved as usize] = idx as u32;
             }
-            pos[v as usize] = buckets[to].len() as u32;
+            pos[v as usize] = crate::narrow::node_count(buckets[to].len());
             buckets[to].push(v);
         };
 

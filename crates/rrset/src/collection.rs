@@ -96,6 +96,13 @@ impl RrCollection {
         self.len() == 0
     }
 
+    /// The whole pool as a set-id range (`0..len`), for the range-taking
+    /// coverage and snapshot APIs. Set ids are `u32` by representation,
+    /// so the narrowing is sanctioned ([`crate::narrow::set_count`]).
+    pub fn id_range(&self) -> Range<u32> {
+        0..crate::narrow::set_count(self.len())
+    }
+
     /// Total number of node entries across all sets.
     pub fn total_nodes(&self) -> u64 {
         self.data.len() as u64
@@ -159,7 +166,7 @@ impl RrCollection {
 
     /// Ids of the sets containing `v`, ascending.
     pub fn sets_containing(&self, v: NodeId) -> SetIds<'_> {
-        self.sets_containing_in(v, 0..self.len() as u32)
+        self.sets_containing_in(v, self.id_range())
     }
 
     /// Ids of the sets containing `v` restricted to an id `range`,
@@ -364,7 +371,7 @@ impl RrCollection {
     /// Number of pooled sets covered by `seeds` (`Cov_R(S)`, Eq. 1).
     pub fn coverage_of(&self, seeds: &[NodeId]) -> u64 {
         let mut scratch = Vec::new();
-        self.coverage_of_range(seeds, 0..self.len() as u32, &mut scratch)
+        self.coverage_of_range(seeds, self.id_range(), &mut scratch)
     }
 
     /// Exact byte footprint of the pool (arena + offsets + both inverted

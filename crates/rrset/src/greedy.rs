@@ -59,7 +59,7 @@ impl CoverageResult {
 
 /// Runs lazy-greedy max-coverage over the whole pool.
 pub fn max_coverage(rc: &RrCollection, k: usize) -> CoverageResult {
-    max_coverage_range(rc, k, 0..rc.len() as u32)
+    max_coverage_range(rc, k, rc.id_range())
 }
 
 /// Runs lazy-greedy max-coverage over the pool slice `range` (used by

@@ -58,7 +58,7 @@ impl PendingTier {
             self.head = vec![NONE; n as usize];
             self.tail = vec![NONE; n as usize];
         }
-        let e = self.entry_set.len() as u32;
+        let e = crate::narrow::entry_count(self.entry_set.len());
         assert!(e != NONE, "pending entry space exhausted");
         self.entry_set.push(set_id);
         self.entry_next.push(NONE);
@@ -144,7 +144,12 @@ impl CsrOffsets {
             for part in parts {
                 match part {
                     CsrOffsets::Narrow(o) => out.extend(o[1..].iter().map(|&v| base + v)),
-                    CsrOffsets::Wide(o) => out.extend(o[1..].iter().map(|&v| base + v as u32)),
+                    CsrOffsets::Wide(o) => out.extend(
+                        // guarded: total_entries (≥ every v) fits in u32
+                        o[1..]
+                            .iter()
+                            .map(|&v| base + crate::narrow::try_u32(v).unwrap_or(u32::MAX)),
+                    ),
                 }
                 base = *out.last().expect("offsets non-empty");
             }
@@ -291,13 +296,13 @@ impl TwoTierIndex {
             self.compact(data, offsets, threads);
             return;
         }
-        for id in self.indexed_sets as usize..total_sets {
-            let span = offsets[id] as usize..offsets[id + 1] as usize;
+        for id in self.indexed_sets..crate::narrow::set_count(total_sets) {
+            let span = offsets[id as usize] as usize..offsets[id as usize + 1] as usize;
             for &v in &data[span] {
-                self.pending.append(self.n, v, id as u32);
+                self.pending.append(self.n, v, id);
             }
         }
-        self.indexed_sets = total_sets as u32;
+        self.indexed_sets = crate::narrow::set_count(total_sets);
         self.indexed_entries = data.len() as u64;
     }
 
@@ -382,10 +387,10 @@ impl TwoTierIndex {
         if workers == 1 {
             counts.copy_from_slice(&index_offsets[..n]);
             let cursors = &mut counts;
-            for id in 0..total_sets {
-                let span = offsets[id] as usize..offsets[id + 1] as usize;
+            for id in 0..crate::narrow::set_count(total_sets) {
+                let span = offsets[id as usize] as usize..offsets[id as usize + 1] as usize;
                 for &v in &data[span] {
-                    index_data[cursors[v as usize] as usize] = id as u32;
+                    index_data[cursors[v as usize] as usize] = id;
                     cursors[v as usize] += 1;
                 }
             }
@@ -411,14 +416,15 @@ impl TwoTierIndex {
                     scope.spawn(move || {
                         let mut cursors: Vec<u64> =
                             index_offsets[lo..hi].iter().map(|&o| o - base).collect();
-                        for id in 0..total_sets {
-                            let span = offsets[id] as usize..offsets[id + 1] as usize;
+                        for id in 0..crate::narrow::set_count(total_sets) {
+                            let span =
+                                offsets[id as usize] as usize..offsets[id as usize + 1] as usize;
                             for &v in &data[span] {
                                 let vi = v as usize;
                                 if vi < lo || vi >= hi {
                                     continue;
                                 }
-                                mine[cursors[vi - lo] as usize] = id as u32;
+                                mine[cursors[vi - lo] as usize] = id;
                                 cursors[vi - lo] += 1;
                             }
                         }

@@ -40,6 +40,7 @@ mod collection;
 mod coverage;
 mod greedy;
 mod index;
+pub mod narrow;
 mod snapshot;
 pub mod store;
 

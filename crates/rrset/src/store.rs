@@ -106,7 +106,7 @@ use std::path::{Path, PathBuf};
 use sns_graph::hash::{fnv64, Fnv64};
 use sns_graph::NodeId;
 
-use crate::RrCollection;
+use crate::{narrow, RrCollection};
 
 /// Magic prefix of the manifest file.
 const MANIFEST_MAGIC: &[u8; 4] = b"SNSM";
@@ -197,6 +197,14 @@ pub enum StoreError {
         /// What disagrees.
         detail: String,
     },
+    /// A broken invariant inside this crate (not in the store on disk).
+    /// Reported as an error rather than a panic, per the workspace
+    /// panic-path contract (`docs/ARCHITECTURE.md` §6); seeing one is a
+    /// bug in `sns-rrset`.
+    Internal {
+        /// Which invariant broke.
+        detail: String,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -220,6 +228,9 @@ impl fmt::Display for StoreError {
             }
             StoreError::MetadataDrift { detail } => {
                 write!(f, "pool epoch metadata drifted from its arena: {detail}")
+            }
+            StoreError::Internal { detail } => {
+                write!(f, "internal invariant violated (bug in sns-rrset): {detail}")
             }
         }
     }
@@ -450,25 +461,40 @@ impl PoolStore {
         };
 
         let (data, offsets) = pool.arena();
-        let mut stats = SaveStats { epochs_reused: reusable.len() as u32, ..SaveStats::default() };
+        let mut stats = SaveStats {
+            epochs_reused: narrow::small_count(reusable.len()),
+            ..SaveStats::default()
+        };
         let mut entries = reusable;
-        for e in entries.len()..bounds.len() {
-            let lo = if e == 0 { 0 } else { bounds[e - 1] };
-            let hi = bounds[e];
-            let prev_edges = if e == 0 { 0 } else { edge_totals[e - 1] };
-            let bytes =
-                encode_segment(e as u32, lo, hi, data, offsets, edge_totals[e] - prev_edges);
-            let checksum = fnv64(&bytes[..bytes.len() - SEGMENT_FOOTER_BYTES as usize]);
+        // Walk the epochs past the reused prefix, carrying the previous
+        // boundary/total instead of indexing `bounds[e - 1]` — the save
+        // path stays free of unchecked indexing (sns-lint `panics/index`).
+        let mut lo = entries.last().map_or(0, |e| e.boundary);
+        let mut prev_edges = entries.last().map_or(0, |e| e.edges_total);
+        let fresh = bounds.iter().zip(edge_totals).enumerate().skip(entries.len());
+        for (e, (&hi, &edges_total)) in fresh {
+            let bytes = encode_segment(
+                narrow::small_count(e),
+                lo,
+                hi,
+                data,
+                offsets,
+                edges_total - prev_edges,
+            );
+            let payload_len = bytes.len().saturating_sub(SEGMENT_FOOTER_BYTES as usize);
+            let checksum = fnv64(bytes.get(..payload_len).unwrap_or_default());
             let name = segment_name(e);
             write_atomic(&self.dir, &name, &bytes)?;
             stats.epochs_written += 1;
             stats.bytes_written += bytes.len() as u64;
             entries.push(EpochEntry {
                 boundary: hi,
-                edges_total: edge_totals[e],
+                edges_total,
                 file_len: bytes.len() as u64,
                 checksum,
             });
+            lo = hi;
+            prev_edges = edges_total;
         }
 
         let manifest = encode_manifest(fingerprint, &entries);
@@ -484,7 +510,12 @@ impl PoolStore {
     pub fn load(&self, threads: usize) -> Result<(RrCollection, StoreFingerprint), StoreError> {
         match self.load_prefix(threads, false)? {
             (pool, fingerprint, Recovery::Intact) => Ok((pool, fingerprint)),
-            _ => unreachable!("strict load cannot partially succeed"),
+            // Strict loads propagate the first fault instead of
+            // recovering, so a partial result here is a bug in this
+            // crate — reported as a typed error, not a panic.
+            _ => {
+                Err(StoreError::Internal { detail: "strict load returned a partial prefix".into() })
+            }
         }
     }
 
@@ -561,31 +592,35 @@ impl PoolStore {
         }
 
         // Verify framing and checksum before believing any header field.
+        // All byte access below goes through `field` — clamped slicing
+        // that cannot panic on hostile lengths (the length checks above
+        // and the exact-layout check below make a short slice impossible,
+        // but untrusted-input decoding does not get to rely on that).
         let payload_end = bytes.len() - SEGMENT_FOOTER_BYTES as usize;
-        if &bytes[..4] != SEGMENT_MAGIC {
+        if field(&bytes, 0, 4) != SEGMENT_MAGIC {
             return Err(StoreError::BadMagic { file: name.clone() });
         }
-        if &bytes[bytes.len() - 4..] != SEGMENT_END_MAGIC {
+        if field(&bytes, bytes.len() - 4, bytes.len()) != SEGMENT_END_MAGIC {
             return Err(StoreError::BadMagic { file: name.clone() });
         }
-        let version = le_u32(&bytes[4..8]);
+        let version = le_u32(field(&bytes, 4, 8));
         if version != STORE_VERSION {
             return Err(StoreError::VersionSkew { file: name.clone(), found: version });
         }
-        let footer_checksum = le_u64(&bytes[payload_end..payload_end + 8]);
-        let realized = fnv64(&bytes[..payload_end]);
+        let footer_checksum = le_u64(field(&bytes, payload_end, payload_end + 8));
+        let realized = fnv64(field(&bytes, 0, payload_end));
         if realized != footer_checksum || realized != entry.checksum {
             return Err(StoreError::ChecksumMismatch { file: name.clone() });
         }
 
         // Header fields (now trustworthy modulo save-time bugs, which the
         // structural cross-checks below turn into typed errors).
-        let declared_epoch = le_u32(&bytes[8..12]);
-        let start = le_u32(&bytes[12..16]);
-        let sets = le_u32(&bytes[16..20]);
-        let entries = le_u64(&bytes[20..28]);
-        let edges_delta = le_u64(&bytes[28..36]);
-        let width = le_u32(&bytes[36..40]);
+        let declared_epoch = le_u32(field(&bytes, 8, 12));
+        let start = le_u32(field(&bytes, 12, 16));
+        let sets = le_u32(field(&bytes, 16, 20));
+        let entries = le_u64(field(&bytes, 20, 28));
+        let edges_delta = le_u64(field(&bytes, 28, 36));
+        let width = le_u32(field(&bytes, 36, 40));
         if declared_epoch as usize != epoch {
             return bad(format!("declares epoch {declared_epoch}, expected {epoch}"));
         }
@@ -616,7 +651,7 @@ impl PoolStore {
         // Offsets: rebased per-set ends, nondecreasing, closing exactly
         // at the entry count.
         let offsets_end = SEGMENT_HEADER_BYTES as usize + sets as usize * width as usize;
-        let raw = &bytes[SEGMENT_HEADER_BYTES as usize..offsets_end];
+        let raw = field(&bytes, SEGMENT_HEADER_BYTES as usize, offsets_end);
         let mut set_ends = Vec::with_capacity(sets as usize);
         if width == 4 {
             set_ends.extend(raw.chunks_exact(4).map(|c| le_u32(c) as u64));
@@ -637,7 +672,7 @@ impl PoolStore {
         // Node data, bounded by the pool's node universe (the bound is
         // folded into the decode pass: one max-tracking sweep instead of
         // a separate validation scan over megabytes of ids).
-        let raw = &bytes[offsets_end..payload_end];
+        let raw = field(&bytes, offsets_end, payload_end);
         let mut data = Vec::with_capacity(entries as usize);
         let mut max_id = 0u32;
         data.extend(raw.chunks_exact(4).map(|c| {
@@ -684,8 +719,8 @@ fn validate_pool_metadata(pool: &RrCollection) -> Result<(), StoreError> {
             pool.len()
         ));
     }
-    if let Some(i) = (1..offsets.len()).find(|&i| offsets[i] < offsets[i - 1]) {
-        return drift(format!("arena offset of set {i} decreases"));
+    if let Some(i) = offsets.windows(2).position(|w| w[1] < w[0]) {
+        return drift(format!("arena offset of set {} decreases", i + 1));
     }
     if offsets.last().copied().unwrap_or(0) != data.len() as u64 {
         return drift(format!(
@@ -724,14 +759,20 @@ fn encode_segment(
     offsets: &[u64],
     edges_delta: u64,
 ) -> Vec<u8> {
-    let base = offsets[lo as usize];
-    let end = offsets[hi as usize];
+    // `lo`/`hi` come from `validate_pool_metadata`-checked epoch
+    // boundaries, so the arena lookups always hit; the `.get()` defaults
+    // keep the save path panic-free regardless (a violated invariant
+    // would produce a structurally-empty segment the loader's
+    // cross-checks reject, not a crash).
+    let base = offsets.get(lo as usize).copied().unwrap_or_default();
+    let end = offsets.get(hi as usize).copied().unwrap_or_default();
     let sets = (hi - lo) as u64;
     let entries = end - base;
     // Width-adaptive offsets, preserved verbatim on the round trip: u32
     // whenever the epoch's entry count fits (the overwhelmingly common
     // case), u64 beyond 4 G entries per epoch.
-    let width: u64 = if entries <= u32::MAX as u64 { 4 } else { 8 };
+    let width_tag: u32 = if entries <= u32::MAX as u64 { 4 } else { 8 };
+    let width = u64::from(width_tag);
     let len = SEGMENT_HEADER_BYTES + sets * width + entries * 4 + SEGMENT_FOOTER_BYTES;
     let mut out = Vec::with_capacity(len as usize);
     out.extend_from_slice(SEGMENT_MAGIC);
@@ -741,8 +782,8 @@ fn encode_segment(
     out.extend_from_slice(&(hi - lo).to_le_bytes());
     out.extend_from_slice(&entries.to_le_bytes());
     out.extend_from_slice(&edges_delta.to_le_bytes());
-    out.extend_from_slice(&(width as u32).to_le_bytes());
-    for &o in &offsets[lo as usize + 1..=hi as usize] {
+    out.extend_from_slice(&width_tag.to_le_bytes());
+    for &o in offsets.iter().skip(lo as usize + 1).take(sets as usize) {
         let rebased = o - base;
         if width == 4 {
             out.extend_from_slice(&(rebased as u32).to_le_bytes());
@@ -750,7 +791,7 @@ fn encode_segment(
             out.extend_from_slice(&rebased.to_le_bytes());
         }
     }
-    for &v in &data[base as usize..end as usize] {
+    for &v in data.iter().skip(base as usize).take((end - base) as usize) {
         out.extend_from_slice(&v.to_le_bytes());
     }
     let checksum = fnv64(&out);
@@ -769,12 +810,12 @@ fn encode_manifest(fingerprint: &StoreFingerprint, epochs: &[EpochEntry]) -> Vec
     out.extend_from_slice(&fingerprint.rng_seed.to_le_bytes());
     out.extend_from_slice(&fingerprint.gamma.to_bits().to_le_bytes());
     put_string(&mut out, &fingerprint.model);
-    out.extend_from_slice(&(fingerprint.meta.len() as u32).to_le_bytes());
+    out.extend_from_slice(&narrow::small_count(fingerprint.meta.len()).to_le_bytes());
     for (k, v) in &fingerprint.meta {
         put_string(&mut out, k);
         put_string(&mut out, v);
     }
-    out.extend_from_slice(&(epochs.len() as u32).to_le_bytes());
+    out.extend_from_slice(&narrow::small_count(epochs.len()).to_le_bytes());
     for e in epochs {
         out.extend_from_slice(&e.boundary.to_le_bytes());
         out.extend_from_slice(&e.edges_total.to_le_bytes());
@@ -804,9 +845,9 @@ fn decode_manifest(bytes: &[u8]) -> Result<Manifest, StoreError> {
     if bytes.len() < 8 {
         return Err(StoreError::Truncated { file: file() });
     }
-    let declared = le_u64(&bytes[bytes.len() - 8..]);
+    let declared = le_u64(field(bytes, bytes.len() - 8, bytes.len()));
     let mut h = Fnv64::new();
-    h.write(&bytes[..bytes.len() - 8]);
+    h.write(field(bytes, 0, bytes.len() - 8));
     if h.finish() != declared {
         return Err(StoreError::ChecksumMismatch { file: file() });
     }
@@ -870,10 +911,12 @@ impl<'a> Cursor<'a> {
     fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
         // The trailing 8 checksum bytes are not part of the payload.
         let payload_len = self.bytes.len().saturating_sub(8);
-        if self.pos + n > payload_len {
-            return Err(StoreError::Truncated { file: MANIFEST.to_string() });
-        }
-        let out = &self.bytes[self.pos..self.pos + n];
+        let out = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= payload_len)
+            .and_then(|end| self.bytes.get(self.pos..end))
+            .ok_or(StoreError::Truncated { file: MANIFEST.to_string() })?;
         self.pos += n;
         Ok(out)
     }
@@ -904,16 +947,39 @@ impl<'a> Cursor<'a> {
 
 fn put_string(out: &mut Vec<u8>, s: &str) {
     debug_assert!(s.len() <= MAX_STRING, "manifest strings are caller-bounded");
-    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(&narrow::small_count(s.len()).to_le_bytes());
     out.extend_from_slice(s.as_bytes());
 }
 
-fn le_u32(b: &[u8]) -> u32 {
-    u32::from_le_bytes(b[..4].try_into().expect("4 bytes"))
+/// `bytes[lo..hi]`, clamped: an out-of-bounds or inverted range yields
+/// the empty slice instead of panicking. Decode paths validate lengths
+/// before reading fields, so the clamp never fires on a well-formed
+/// file — it exists so that *no* input, however malformed, can reach an
+/// indexing panic (the workspace panic-path contract).
+fn field(bytes: &[u8], lo: usize, hi: usize) -> &[u8] {
+    bytes.get(lo..hi).unwrap_or_default()
 }
 
+/// Little-endian `u32` from the first 4 bytes, zero-extending a short
+/// slice (callers size their [`field`] reads; a short slice only occurs
+/// downstream of a clamped out-of-bounds read, which the structural
+/// checks then reject).
+fn le_u32(b: &[u8]) -> u32 {
+    let mut buf = [0u8; 4];
+    for (d, s) in buf.iter_mut().zip(b) {
+        *d = *s;
+    }
+    u32::from_le_bytes(buf)
+}
+
+/// Little-endian `u64` from the first 8 bytes, zero-extending like
+/// [`le_u32`].
 fn le_u64(b: &[u8]) -> u64 {
-    u64::from_le_bytes(b[..8].try_into().expect("8 bytes"))
+    let mut buf = [0u8; 8];
+    for (d, s) in buf.iter_mut().zip(b) {
+        *d = *s;
+    }
+    u64::from_le_bytes(buf)
 }
 
 fn segment_name(epoch: usize) -> String {

@@ -19,6 +19,9 @@
 //!    loader refuse it while `from_store_recovering` serves the longest
 //!    valid prefix and reports exactly what was lost.
 
+// Example CLI reports wall-clock bake/serve timings; they never feed results.
+#![allow(clippy::disallowed_methods)]
+
 use std::time::Instant;
 
 use stop_and_stare::graph::{gen, WeightModel};
