@@ -35,7 +35,9 @@ use std::time::Duration;
 
 use criterion::{BenchmarkId, Criterion};
 
-use sns_core::{SamplingContext, SeedQuery, SeedQueryEngine};
+use std::sync::Arc;
+
+use sns_core::{NodeCosts, SamplingContext, SeedQuery, SeedQueryEngine};
 use sns_diffusion::Model;
 use sns_rrset::{max_coverage_with, CoverageView, GainSnapshot, GreedyScratch};
 
@@ -109,6 +111,57 @@ fn bench_queries(c: &mut Criterion, engine: &SeedQueryEngine, threaded: &SeedQue
     group.bench_with_input(BenchmarkId::new("planned-16", "4-threads"), &batch, |b, batch| {
         b.iter(|| threaded.answer_planned(batch).expect("valid batch").len())
     });
+
+    // Budgeted batch: 16 cost-aware queries — uniform-cost degeneration
+    // twins of the heterogeneous batch on even slots, a shared per-node
+    // cost table (identity-compared Arc) with fractional budgets on odd
+    // slots. Budgeted queries ride the same plain snapshot groups, so
+    // the planner collapses the batch to 2 resolutions here too.
+    let costs: Arc<[f64]> = (0..pool.num_nodes()).map(|v| 0.5 + f64::from(v % 4) * 0.25).collect();
+    let budgeted_batch: Vec<SeedQuery> = (1..=16usize)
+        .map(|k| {
+            if k % 2 == 0 {
+                SeedQuery::budgeted((3 * k) as f64).over_range(0..total / 2)
+            } else {
+                SeedQuery::budgeted((3 * k) as f64 * 0.75)
+                    .with_costs(NodeCosts::per_node(costs.clone()))
+            }
+        })
+        .collect();
+    // Bit-identity contract: the even slots are the uniform-cost
+    // degeneration — byte-for-byte equal to their top-k twins in
+    // `batch` — and planned/unplanned/threaded all agree.
+    let budgeted_answers = engine.answer_batch(&budgeted_batch).expect("valid budgeted batch");
+    let plain_answers = engine.answer_batch(&batch).expect("valid batch");
+    for k in (2..=16usize).step_by(2) {
+        assert_eq!(
+            budgeted_answers[k - 1],
+            plain_answers[k - 1],
+            "uniform-cost budget {} must degenerate to top-{}",
+            3 * k,
+            3 * k
+        );
+    }
+    assert_eq!(
+        engine.answer_planned(&budgeted_batch).expect("valid budgeted batch"),
+        budgeted_answers,
+        "planned budgeted answers must be bit-identical to answer_batch"
+    );
+    assert_eq!(
+        threaded.answer_batch(&budgeted_batch).expect("valid budgeted batch"),
+        budgeted_answers,
+        "budgeted answers must not depend on worker threads"
+    );
+    group.bench_with_input(
+        BenchmarkId::new("budgeted-16", "1-thread"),
+        &budgeted_batch,
+        |b, batch| b.iter(|| engine.answer_planned(batch).expect("valid batch").len()),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("budgeted-16", "4-threads"),
+        &budgeted_batch,
+        |b, batch| b.iter(|| threaded.answer_planned(batch).expect("valid batch").len()),
+    );
 
     // Weighted query, uncached: per-query gain pass, no snapshot.
     let weights: Vec<f64> =

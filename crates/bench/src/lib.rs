@@ -33,6 +33,7 @@ pub mod algorithms;
 pub mod config;
 pub mod datasets;
 pub mod experiments;
+pub mod oracle;
 pub mod report;
 pub mod sample_counts;
 pub mod traffic;

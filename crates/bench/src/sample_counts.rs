@@ -112,6 +112,64 @@ pub fn traffic_counters() -> Vec<(&'static str, u64)> {
     crate::traffic::simulate(&crate::traffic::TrafficConfig::ci()).counters
 }
 
+/// Counters of the budgeted CI traffic scenario
+/// ([`crate::traffic::TrafficConfig::ci_budgeted`]) — the plain scenario
+/// with a budgeted (cost-aware) query mix — renamed `traffic_budgeted_*`
+/// so both scenarios' counters coexist in one baseline file.
+pub fn traffic_budgeted_counters() -> Vec<(&'static str, u64)> {
+    crate::traffic::simulate(&crate::traffic::TrafficConfig::ci_budgeted())
+        .counters
+        .iter()
+        .map(|&(name, v)| (budgeted_counter_name(name), v))
+        .collect()
+}
+
+/// Stable rename of the simulator's counter names for the budgeted
+/// scenario. Names must be `&'static str`, so the mapping is a literal
+/// match rather than a formatted prefix.
+fn budgeted_counter_name(name: &'static str) -> &'static str {
+    match name {
+        "traffic_sim_arrivals" => "traffic_budgeted_arrivals",
+        "traffic_sim_served" => "traffic_budgeted_served",
+        "traffic_sim_rejected_queue_full" => "traffic_budgeted_rejected_queue_full",
+        "traffic_sim_rejected_deadline" => "traffic_budgeted_rejected_deadline",
+        "traffic_sim_expired" => "traffic_budgeted_expired",
+        "traffic_sim_left_queued" => "traffic_budgeted_left_queued",
+        "traffic_sim_planner_groups" => "traffic_budgeted_planner_groups",
+        "traffic_sim_builds_saved" => "traffic_budgeted_builds_saved",
+        "traffic_sim_growths" => "traffic_budgeted_growths",
+        "traffic_sim_sojourn_p50" => "traffic_budgeted_sojourn_p50",
+        "traffic_sim_sojourn_p99" => "traffic_budgeted_sojourn_p99",
+        "traffic_sim_budgeted_arrivals" => "traffic_budgeted_mix_size",
+        other => other,
+    }
+}
+
+/// Realized budgeted-greedy / exact-IP coverage ratios, in permille, on
+/// the oracle fixtures ([`crate::oracle`]) — deterministic *quality*
+/// counters: both sides are pure functions of the fixtures, so a greedy
+/// regression that stays above the `1 − 1/√e` floor (≈ 393‰, asserted
+/// by `tests/budgeted_oracle.rs`) still shows up as an exact drift here.
+pub fn oracle_gap_counters() -> Vec<(&'static str, u64)> {
+    crate::oracle::realized_gaps_permille()
+        .iter()
+        .map(|&(name, permille)| (oracle_counter_name(name), permille))
+        .collect()
+}
+
+/// Stable counter names for the oracle fixtures (names must be
+/// `&'static str`, so the mapping is a literal match).
+fn oracle_counter_name(name: &'static str) -> &'static str {
+    match name {
+        "uniform-costs" => "budgeted_oracle_uniform_costs_permille",
+        "cheap-hubs" => "budgeted_oracle_cheap_hubs_permille",
+        "expensive-hub" => "budgeted_oracle_expensive_hub_permille",
+        "tight-fractional" => "budgeted_oracle_tight_fractional_permille",
+        "overlap-decoy" => "budgeted_oracle_overlap_decoy_permille",
+        other => other,
+    }
+}
+
 /// The tracked `(name, value)` counters, recomputed from scratch
 /// (seconds of work; all streams seeded). Names are stable — `bench_diff`
 /// treats a missing baseline entry as "new counter, record it".
@@ -153,6 +211,8 @@ pub fn counters() -> Vec<(&'static str, u64)> {
     out.extend(serving_counters());
     out.extend(store_counters());
     out.extend(traffic_counters());
+    out.extend(traffic_budgeted_counters());
+    out.extend(oracle_gap_counters());
     out
 }
 

@@ -28,11 +28,12 @@
 // admission decisions run on the simulated tick clock (see lint-allow.toml).
 #![allow(clippy::disallowed_methods)]
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use sns_core::{AdmissionQueue, Priority, SamplingContext, SeedQuery, SeedQueryEngine};
+use sns_core::{AdmissionQueue, NodeCosts, Priority, SamplingContext, SeedQuery, SeedQueryEngine};
 use sns_diffusion::Model;
 use sns_graph::{gen, WeightModel};
 use sns_tvm::TargetWeights;
@@ -61,6 +62,10 @@ pub struct TrafficConfig {
     pub zipf_s: f64,
     /// Fraction of queries that are topic-weighted (the rest are plain).
     pub topic_share: f64,
+    /// Fraction of *plain* queries that arrive as budgeted (cost-aware)
+    /// queries instead of top-k. `0.0` disables the mix **and** its RNG
+    /// draws, so legacy scenarios replay their exact historical streams.
+    pub budget_share: f64,
     /// Seed budgets drawn uniformly per query (the "mixed k" axis).
     pub mixed_k: Vec<usize>,
     /// Admission-queue capacity (waiting queries).
@@ -100,6 +105,7 @@ impl TrafficConfig {
             topics: 6,
             zipf_s: 1.1,
             topic_share: 0.4,
+            budget_share: 0.0,
             mixed_k: vec![3, 8, 15],
             queue_capacity: 24,
             drain_per_step: 10,
@@ -111,6 +117,17 @@ impl TrafficConfig {
             threads: 1,
             verify: false,
         }
+    }
+
+    /// The budgeted CI scenario: [`TrafficConfig::ci`] with a third of
+    /// the plain traffic arriving as budgeted queries — half of them
+    /// uniform-cost (the degeneration case, bit-identical to top-k),
+    /// half with a shared per-node cost table (identity-compared, like
+    /// topic weight Arcs) and a fractional budget. Its counters are
+    /// baselined alongside the plain scenario's under the
+    /// `traffic_budgeted_*` names.
+    pub fn ci_budgeted() -> Self {
+        TrafficConfig { budget_share: 0.35, ..TrafficConfig::ci() }
     }
 }
 
@@ -183,11 +200,17 @@ pub fn simulate(cfg: &TrafficConfig) -> TrafficReport {
         })
         .collect();
     let zipf = Zipf::new(cfg.topics.max(1), cfg.zipf_s);
+    // One shared per-node cost table for every cost-aware query — Arcs
+    // are identity-compared, the same sharing discipline as topic
+    // weights. Deterministic (no RNG): cheapest node costs 0.5, so the
+    // admission model's budget-derived effective k stays bounded.
+    let costs: Arc<[f64]> = (0..g.num_nodes()).map(|v| 0.5 + f64::from(v % 4) * 0.5).collect();
     let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
     let mut queue = AdmissionQueue::new(cfg.queue_capacity);
 
     let mut now = 0u64; // virtual clock, cost units
     let mut arrivals_total = 0u64;
+    let mut budgeted_arrivals = 0u64;
     let mut growths = 0u64;
     let mut sojourns: Vec<u64> = Vec::new(); // virtual, deterministic
     let mut service_ns: Vec<u64> = Vec::new(); // wall, report-only
@@ -219,6 +242,17 @@ pub fn simulate(cfg: &TrafficConfig) -> TrafficReport {
             };
             let query = if rng.gen_bool(cfg.topic_share) {
                 topics[zipf.sample(&mut rng)].seed_query(k).over_range(range)
+            } else if cfg.budget_share > 0.0 && rng.gen_bool(cfg.budget_share) {
+                budgeted_arrivals += 1;
+                if rng.gen_range(0..2u32) == 0 {
+                    // uniform costs, budget = k: the degeneration case,
+                    // bit-identical to the top-k query it replaces
+                    SeedQuery::budgeted(k as f64).over_range(range)
+                } else {
+                    SeedQuery::budgeted(k as f64 * 0.75)
+                        .with_costs(NodeCosts::per_node(costs.clone()))
+                        .over_range(range)
+                }
             } else {
                 SeedQuery::top_k(k).over_range(range)
             };
@@ -265,7 +299,7 @@ pub fn simulate(cfg: &TrafficConfig) -> TrafficReport {
     sojourns.sort_unstable();
     service_ns.sort_unstable();
     let served = qstats.drained;
-    let counters = vec![
+    let mut counters = vec![
         ("traffic_sim_arrivals", arrivals_total),
         ("traffic_sim_served", served),
         ("traffic_sim_rejected_queue_full", qstats.rejected_queue_full),
@@ -278,6 +312,11 @@ pub fn simulate(cfg: &TrafficConfig) -> TrafficReport {
         ("traffic_sim_sojourn_p50", percentile(&sojourns, 50.0)),
         ("traffic_sim_sojourn_p99", percentile(&sojourns, 99.0)),
     ];
+    if cfg.budget_share > 0.0 {
+        // Only budgeted scenarios report the mix size, so the legacy
+        // scenarios' counter sets stay byte-identical to their baselines.
+        counters.push(("traffic_sim_budgeted_arrivals", budgeted_arrivals));
+    }
     let secs = service_total_ns as f64 / 1e9;
     TrafficReport {
         counters,

@@ -51,6 +51,57 @@ fn counters_are_invariant_to_engine_thread_count() {
 }
 
 #[test]
+fn budgeted_scenario_counters_are_reproducible_and_thread_invariant() {
+    let cfg = TrafficConfig::ci_budgeted();
+    let a = simulate(&cfg);
+    let b = simulate(&cfg);
+    assert_eq!(a.counters, b.counters, "budgeted scenario must replay byte-identically");
+    let four = simulate(&TrafficConfig { threads: 4, ..TrafficConfig::ci_budgeted() });
+    assert_eq!(a.counters, four.counters, "budgeted counters must not depend on threads");
+
+    let get = |name: &str| {
+        a.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .unwrap_or_else(|| panic!("missing counter {name}"))
+            .1
+    };
+    // The budgeted mix must actually flow: cost-aware queries arrive,
+    // get admitted against the budget-derived cost model and get served.
+    assert!(get("traffic_sim_budgeted_arrivals") > 0, "{:?}", a.counters);
+    assert!(get("traffic_sim_served") > 0);
+    assert_eq!(get("traffic_sim_growths"), 2);
+    // Conservation holds in the budgeted mix too.
+    assert_eq!(
+        get("traffic_sim_arrivals"),
+        get("traffic_sim_served")
+            + get("traffic_sim_rejected_queue_full")
+            + get("traffic_sim_rejected_deadline")
+            + get("traffic_sim_expired")
+            + get("traffic_sim_left_queued"),
+        "{:?}",
+        a.counters
+    );
+}
+
+#[test]
+fn budgeted_share_does_not_disturb_the_legacy_scenario() {
+    // ci_budgeted() differs from ci() only in the budgeted mix; the
+    // legacy scenario's counters — and therefore its checked-in
+    // baselines — must be exactly what they were before the mix existed.
+    let legacy = simulate(&TrafficConfig::ci());
+    assert_eq!(legacy.counters.len(), 11, "{:?}", legacy.counters);
+    assert!(legacy.counters.iter().all(|(n, _)| *n != "traffic_sim_budgeted_arrivals"));
+}
+
+#[test]
+fn planned_budgeted_answers_match_unplanned_under_traffic() {
+    let cfg = TrafficConfig { steps: 12, verify: true, ..TrafficConfig::ci_budgeted() };
+    let report = simulate(&cfg);
+    assert!(report.served > 0);
+}
+
+#[test]
 fn planned_answers_match_unplanned_under_traffic() {
     // verify: true cross-checks every planned batch against
     // answer_batch inside simulate(); a divergence panics there.

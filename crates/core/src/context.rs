@@ -67,6 +67,26 @@ impl<'g> SamplingContext<'g> {
         Ok(self)
     }
 
+    /// Switches to benefit-proportional (CTVM-style) root sampling via
+    /// the prefix-sum inverse CDF — the sampler backing budgeted,
+    /// cost-aware campaigns where `b(v)` is the benefit of influencing
+    /// node `v`. Semantically equivalent to [`Self::with_weighted_roots`]
+    /// (same Γ, same cap ratio, a different draw mechanism with the same
+    /// one-draw-per-sample determinism contract). The slice length must
+    /// equal the node count.
+    pub fn with_benefit_weighted_roots(mut self, benefits: &[f64]) -> Result<Self, GraphError> {
+        assert_eq!(
+            benefits.len(),
+            self.graph.num_nodes() as usize,
+            "benefit vector length must equal the node count"
+        );
+        self.roots = RootDist::benefit_weighted(benefits)?;
+        let mut sorted: Vec<f64> = benefits.to_vec();
+        sorted.sort_unstable_by(|a, b| b.partial_cmp(a).expect("benefits validated finite"));
+        self.sorted_weights_desc = Some(sorted);
+        Ok(self)
+    }
+
     /// The graph.
     pub fn graph(&self) -> &'g Graph {
         self.graph
@@ -194,6 +214,27 @@ mod tests {
             }
         }
         assert!(differs, "streams 0 and 1 produced identical roots");
+    }
+
+    #[test]
+    fn benefit_weighted_context_matches_weighted_semantics() {
+        let g = g4();
+        let ctx = SamplingContext::new(&g, Model::LinearThreshold)
+            .with_benefit_weighted_roots(&[4.0, 3.0, 2.0, 1.0])
+            .unwrap();
+        assert_eq!(ctx.gamma(), 10.0);
+        assert!((ctx.cap_ratio(2) - 10.0 / 7.0).abs() < 1e-12);
+        assert!(matches!(ctx.roots(), sns_diffusion::RootDist::Benefit(_)));
+        // zero-benefit nodes are never drawn as roots
+        let mut sampler = SamplingContext::new(&g, Model::IndependentCascade)
+            .with_benefit_weighted_roots(&[0.0, 1.0, 1.0, 0.0])
+            .unwrap()
+            .sampler(0);
+        let mut rr = Vec::new();
+        for i in 0..200 {
+            let meta = sampler.sample(i, &mut rr);
+            assert!(meta.root == 1 || meta.root == 2);
+        }
     }
 
     #[test]

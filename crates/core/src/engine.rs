@@ -50,8 +50,8 @@ use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 use sns_diffusion::RootDist;
 use sns_graph::NodeId;
 use sns_rrset::{
-    CoverageView, GainSnapshot, GreedyScratch, PoolStore, Recovery, RrCollection, SaveStats,
-    SeedConstraints, StoreFingerprint, WeightedGainSnapshot,
+    CoverageView, GainSnapshot, GreedyScratch, NodeCosts, PoolStore, Recovery, RrCollection,
+    SaveStats, SeedConstraints, StoreFingerprint, WeightedGainSnapshot,
 };
 
 use crate::planner::{BatchPlan, GroupKey, PlanGroup};
@@ -86,12 +86,28 @@ pub struct SeedQuery {
     /// re-running the weighted gain pass. `sns_tvm::TargetWeights` sets
     /// this automatically; leave `None` for one-off weight vectors.
     pub topic: Option<u64>,
+    /// Cost budget `B` replacing the cardinality constraint: when set,
+    /// seeds are picked by cost-effectiveness (`gain/cost`) until no
+    /// affordable node remains, and `k` is ignored. See
+    /// [`SeedQuery::with_budget`].
+    pub budget: Option<f64>,
+    /// Per-node selection costs for budgeted queries (ignored without a
+    /// budget). Defaults to [`NodeCosts::Uniform`]; per-node vectors are
+    /// shared and compared by `Arc` identity like `root_weights`.
+    pub costs: NodeCosts,
 }
 
 impl SeedQuery {
     /// The plain question: the best `k` seeds over the whole pool.
     pub fn top_k(k: usize) -> Self {
         SeedQuery { k, ..SeedQuery::default() }
+    }
+
+    /// The budgeted question: the best seeds affordable within `budget`
+    /// over the whole pool, at uniform unit costs until
+    /// [`SeedQuery::with_costs`] supplies a vector.
+    pub fn budgeted(budget: f64) -> Self {
+        SeedQuery { budget: Some(budget), ..SeedQuery::default() }
     }
 
     /// Restricts selection to a pool id slice.
@@ -130,6 +146,30 @@ impl SeedQuery {
     /// thrash, never a wrong answer.)
     pub fn with_topic(mut self, topic_id: u64) -> Self {
         self.topic = Some(topic_id);
+        self
+    }
+
+    /// Replaces the cardinality constraint with a cost budget `B`: the
+    /// answer picks seeds by cost-effectiveness until the budget is
+    /// exhausted ([`sns_rrset::BudgetedCoverageResult`] semantics, with
+    /// the `max(greedy, best single)` guarantee). `k` is ignored while a
+    /// budget is set; with [`NodeCosts::Uniform`] and `budget = k` the
+    /// answer is bit-identical to the plain top-`k` path. Incompatible
+    /// with `root_weights`/`topic` — per-node *benefits* fold into
+    /// sampling instead (`RootDist::benefit_weighted`), keeping the
+    /// selection objective a plain coverage count.
+    pub fn with_budget(mut self, budget: f64) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Sets per-node selection costs for a budgeted query (requires
+    /// [`SeedQuery::with_budget`]). Pass the same [`NodeCosts`] value —
+    /// for per-node vectors, the same `Arc` — across queries: like topic
+    /// weights, cost vectors are compared by identity, never deep-scanned
+    /// twice.
+    pub fn with_costs(mut self, costs: NodeCosts) -> Self {
+        self.costs = costs;
         self
     }
 }
@@ -420,6 +460,7 @@ impl SeedQueryEngine {
         let roots = match ctx.roots() {
             RootDist::Uniform => "uniform",
             RootDist::Weighted(_) => "weighted",
+            RootDist::Benefit(_) => "benefit",
         };
         StoreFingerprint {
             graph_hash: ctx.graph().content_hash(),
@@ -707,9 +748,17 @@ impl SeedQueryEngine {
             GroupKey::Plain { start, end } => {
                 let range = start..end;
                 let snapshot = self.snapshot_for(&range);
+                // Budgeted queries are unweighted and group here too —
+                // same snapshot identity, different selection loop.
                 for &i in &group.members {
                     let Some(query) = queries.get(i) else { continue };
-                    set(i, self.answer_plain_with(query, &range, &snapshot, scratch));
+                    let answer = match query.budget {
+                        Some(budget) => {
+                            self.answer_budgeted_with(query, budget, &range, &snapshot, scratch)
+                        }
+                        None => self.answer_plain_with(query, &range, &snapshot, scratch),
+                    };
+                    set(i, answer);
                 }
             }
             GroupKey::Topic { start, end, topic } => {
@@ -757,7 +806,7 @@ impl SeedQueryEngine {
     fn validate(&self, query: &SeedQuery) -> Result<(), CoreError> {
         let err = |msg: String| Err(CoreError::InvalidParams(msg));
         let n = self.pool.num_nodes();
-        if query.k == 0 {
+        if query.k == 0 && query.budget.is_none() {
             return err("k must be >= 1".into());
         }
         if let Some(r) = &query.range {
@@ -768,7 +817,46 @@ impl SeedQueryEngine {
                 ));
             }
         }
-        if query.forced.len() > query.k.min(n as usize) {
+        if let Some(budget) = query.budget {
+            if !budget.is_finite() || budget <= 0.0 {
+                return err(format!("budget {budget} is not finite and positive"));
+            }
+            if query.root_weights.is_some() {
+                return err(
+                    "budgeted queries run on uniform-root pools; per-node benefits fold into \
+                     sampling (RootDist::benefit_weighted), not into the selection objective"
+                        .into(),
+                );
+            }
+            if let NodeCosts::PerNode(c) = &query.costs {
+                if c.len() != n as usize {
+                    return err(format!("{} costs for {n} nodes", c.len()));
+                }
+                if let Some((v, &bad)) =
+                    c.iter().enumerate().find(|(_, c)| !c.is_finite() || **c <= 0.0)
+                {
+                    return err(format!("cost c({v}) = {bad} is not finite and positive"));
+                }
+            }
+            // Distinct forced seeds must fit in the budget (duplicates
+            // are selected and charged once, matching the selection).
+            let mut forced_cost = 0.0f64;
+            let mut charged: Vec<NodeId> = Vec::new();
+            for &v in query.forced.iter().filter(|&&v| v < n) {
+                if !charged.contains(&v) {
+                    charged.push(v);
+                    forced_cost += query.costs.cost(v);
+                }
+            }
+            if forced_cost > budget {
+                return err(format!(
+                    "forced seeds cost {forced_cost}, overrunning the budget {budget}"
+                ));
+            }
+        } else if matches!(query.costs, NodeCosts::PerNode(_)) {
+            return err("per-node costs set without a budget".into());
+        }
+        if query.budget.is_none() && query.forced.len() > query.k.min(n as usize) {
             return err(format!(
                 "{} forced seeds exceed the budget k = {}",
                 query.forced.len(),
@@ -802,6 +890,13 @@ impl SeedQueryEngine {
     /// relies on.
     fn answer_validated(&self, query: &SeedQuery, scratch: &mut GreedyScratch) -> SeedAnswer {
         let range = query.range.clone().unwrap_or_else(|| self.pool.id_range());
+        if let Some(budget) = query.budget {
+            // Budgeted queries are unweighted, so they share the plain
+            // snapshot cache — one frozen snapshot serves every
+            // (budget, costs) pair over the range.
+            let snapshot = self.snapshot_for(&range);
+            return self.answer_budgeted_with(query, budget, &range, &snapshot, scratch);
+        }
         match (&query.root_weights, query.topic) {
             (Some(weights), Some(topic)) => {
                 // Repeated-topic fast path: frozen weighted gains
@@ -857,6 +952,39 @@ impl SeedQueryEngine {
             scratch,
         );
         let influence = r.influence_estimate(self.gamma, len);
+        SeedAnswer {
+            seeds: r.seeds,
+            covered: r.covered as f64,
+            influence_estimate: influence,
+            marginal_gains: r.marginal_gains.iter().map(|&g| g as f64).collect(),
+            range: range.clone(),
+        }
+    }
+
+    /// Answers a pre-validated budgeted query against an
+    /// already-resolved plain snapshot of `range`. Snapshots are
+    /// cost-agnostic, so budgeted queries ride the same cache entries
+    /// (and planner groups) as plain top-k queries; with uniform costs
+    /// and `budget = k` the answer is bit-identical to
+    /// [`SeedQueryEngine::answer`] on the cardinality query.
+    fn answer_budgeted_with(
+        &self,
+        query: &SeedQuery,
+        budget: f64,
+        range: &Range<u32>,
+        snapshot: &GainSnapshot,
+        scratch: &mut GreedyScratch,
+    ) -> SeedAnswer {
+        let len = (range.end - range.start) as u64;
+        let constraints = SeedConstraints { forced: &query.forced, excluded: &query.excluded };
+        let r = snapshot.view(&self.pool).select_budgeted_from_snapshot(
+            snapshot,
+            budget,
+            &query.costs,
+            &constraints,
+            scratch,
+        );
+        let influence = if len == 0 { 0.0 } else { self.gamma * r.covered as f64 / len as f64 };
         SeedAnswer {
             seeds: r.seeds,
             covered: r.covered as f64,
@@ -1251,6 +1379,124 @@ mod tests {
         let batch = [SeedQuery::top_k(1), SeedQuery::top_k(0)];
         let err = e.answer_batch(&batch).unwrap_err().to_string();
         assert!(err.contains("query 1"), "{err}");
+    }
+
+    #[test]
+    fn validation_rejects_malformed_budgeted_queries() {
+        let e = engine(500, 6);
+        assert!(e.answer(&SeedQuery::budgeted(f64::NAN)).is_err());
+        assert!(e.answer(&SeedQuery::budgeted(f64::INFINITY)).is_err());
+        assert!(e.answer(&SeedQuery::budgeted(0.0)).is_err());
+        assert!(e.answer(&SeedQuery::budgeted(-2.0)).is_err());
+        // per-node costs without a budget are meaningless
+        let costs = NodeCosts::per_node(vec![1.0; 300].into());
+        assert!(e.answer(&SeedQuery::top_k(3).with_costs(costs.clone())).is_err());
+        // budgets and root weights don't compose (benefits fold into
+        // sampling, not into the selection objective)
+        assert!(e.answer(&SeedQuery::budgeted(3.0).with_root_weights(vec![1.0; 300])).is_err());
+        // cost table must be one finite positive cost per node
+        let short = NodeCosts::per_node(vec![1.0; 3].into());
+        assert!(e.answer(&SeedQuery::budgeted(3.0).with_costs(short)).is_err());
+        let bad = NodeCosts::per_node(
+            (0..300).map(|v| if v == 7 { -1.0 } else { 1.0 }).collect::<Vec<_>>().into(),
+        );
+        assert!(e.answer(&SeedQuery::budgeted(3.0).with_costs(bad)).is_err());
+        // forced seeds alone must fit the budget
+        assert!(e.answer(&SeedQuery::budgeted(1.5).with_forced(vec![1, 2])).is_err());
+        // ...but duplicates are charged once, like selection charges them
+        assert!(e.answer(&SeedQuery::budgeted(1.5).with_forced(vec![1, 1])).is_ok());
+        // well-formed budgeted queries pass
+        assert!(e.answer(&SeedQuery::budgeted(3.0).with_costs(costs)).is_ok());
+    }
+
+    #[test]
+    fn budgeted_query_matches_direct_selection() {
+        let e = engine(2000, 30);
+        let costs: Arc<[f64]> = (0..300u32).map(|v| 0.5 + f64::from(v % 7)).collect();
+        for budget in [0.5, 4.0, 12.5] {
+            let q = SeedQuery::budgeted(budget).with_costs(NodeCosts::per_node(costs.clone()));
+            let ans = e.answer(&q).unwrap();
+            let view = CoverageView::build(e.pool(), 0..2000);
+            let mut scratch = GreedyScratch::new();
+            let direct =
+                view.select_budgeted(budget, &q.costs, &SeedConstraints::none(), &mut scratch);
+            assert_eq!(ans.seeds, direct.seeds, "budget = {budget}");
+            assert_eq!(ans.covered, direct.covered as f64);
+            assert_eq!(
+                ans.marginal_gains,
+                direct.marginal_gains.iter().map(|&g| g as f64).collect::<Vec<_>>()
+            );
+            // Î = Γ · Cov/|R| with Γ = n = 300 over 2000 sets
+            assert_eq!(ans.influence_estimate, 300.0 * direct.covered as f64 / 2000.0);
+        }
+        // ranged budgeted query against the matching direct call
+        let q = SeedQuery::budgeted(6.0)
+            .with_costs(NodeCosts::per_node(costs.clone()))
+            .over_range(500..1500);
+        let ans = e.answer(&q).unwrap();
+        let view = CoverageView::build(e.pool(), 500..1500);
+        let direct = view.select_budgeted(
+            6.0,
+            &q.costs,
+            &SeedConstraints::none(),
+            &mut GreedyScratch::new(),
+        );
+        assert_eq!(ans.seeds, direct.seeds);
+        assert_eq!(ans.range, 500..1500);
+    }
+
+    #[test]
+    fn budgeted_uniform_costs_degenerate_to_top_k() {
+        // Uniform costs + budget = k must be bit-identical to the plain
+        // cardinality query — same seeds, same floats, same everything.
+        let e = engine(1500, 31);
+        let e4 = engine(1500, 31).with_threads(4);
+        for k in [1usize, 4, 9] {
+            for range in [None, Some(0..750u32), Some(300..1100u32)] {
+                let mut topk = SeedQuery::top_k(k);
+                let mut budgeted = SeedQuery::budgeted(k as f64);
+                if let Some(r) = range.clone() {
+                    topk = topk.over_range(r.clone());
+                    budgeted = budgeted.over_range(r);
+                }
+                let expected = e.answer(&topk).unwrap();
+                assert_eq!(e.answer(&budgeted).unwrap(), expected, "k = {k}, {range:?}");
+                assert_eq!(e4.answer(&budgeted).unwrap(), expected, "4 threads");
+            }
+        }
+        // constraints ride along unchanged
+        let topk = SeedQuery::top_k(6).with_forced(vec![3]).with_excluded(vec![0, 11]);
+        let budgeted = SeedQuery::budgeted(6.0).with_forced(vec![3]).with_excluded(vec![0, 11]);
+        assert_eq!(e.answer(&budgeted).unwrap(), e.answer(&topk).unwrap());
+    }
+
+    #[test]
+    fn planned_budgeted_batches_group_with_plain_queries() {
+        let e = engine(2000, 32);
+        let costs: Arc<[f64]> = (0..300u32).map(|v| 1.0 + f64::from(v % 3)).collect();
+        let batch = vec![
+            SeedQuery::top_k(3),
+            SeedQuery::budgeted(4.0),
+            SeedQuery::budgeted(6.0)
+                .with_costs(NodeCosts::per_node(costs.clone()))
+                .over_range(0..1000),
+            SeedQuery::top_k(5).over_range(0..1000),
+            SeedQuery::budgeted(2.5).with_costs(NodeCosts::per_node(costs)),
+        ];
+        let unplanned = e.answer_batch(&batch).unwrap();
+        let planned = e.answer_planned(&batch).unwrap();
+        assert_eq!(planned, unplanned);
+        for (q, a) in batch.iter().zip(&planned) {
+            assert_eq!(a, &e.answer(q).unwrap(), "planned ≡ per-query");
+        }
+        let s = e.stats();
+        // budgeted queries share the plain snapshot groups: full range
+        // {0, 1, 4} and 0..1000 {2, 3} — two groups, three builds saved
+        assert_eq!(s.planner_groups, 2);
+        assert_eq!(s.planner_builds_saved, 3);
+        // planned execution is thread-invariant
+        let planned4 = engine(2000, 32).with_threads(4).answer_planned(&batch).unwrap();
+        assert_eq!(planned4, unplanned);
     }
 
     fn temp_dir(tag: &str) -> std::path::PathBuf {

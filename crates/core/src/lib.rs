@@ -91,6 +91,7 @@ pub use result::RunResult;
 pub use ssa::Ssa;
 
 // Persistence layer behind [`SeedQueryEngine::save`] /
-// [`SeedQueryEngine::from_store`], re-exported so engine callers don't
-// need a direct `sns_rrset` dependency to handle its outcomes.
-pub use sns_rrset::{PoolStore, Recovery, SaveStats, StoreError, StoreFingerprint};
+// [`SeedQueryEngine::from_store`] and the cost model of budgeted
+// queries ([`SeedQuery::with_costs`]), re-exported so engine callers
+// don't need a direct `sns_rrset` dependency to handle its outcomes.
+pub use sns_rrset::{NodeCosts, PoolStore, Recovery, SaveStats, StoreError, StoreFingerprint};

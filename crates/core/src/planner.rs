@@ -38,6 +38,8 @@
 
 use std::collections::BTreeMap;
 
+use sns_rrset::NodeCosts;
+
 use crate::SeedQuery;
 
 /// The snapshot identity a query resolves against — the grouping key of
@@ -209,13 +211,46 @@ impl std::fmt::Display for RejectReason {
 /// Deterministic service-cost estimate of one query, in abstract cost
 /// units — the currency of the admission queue's virtual clock.
 /// Snapshot and selection work scale with the queried range, the greedy
-/// loop with `k`, so the estimate is `1 + range_len/256 + k`. Only
-/// *relative* magnitudes matter (deadlines and backlog are measured in
-/// the same units); the estimate never influences answers.
+/// loop with the number of selection rounds, so the estimate is
+/// `1 + range_len/256 + effective_k`. For cardinality queries the round
+/// count is `k`; for budgeted queries it is the budget divided by the
+/// cheapest node cost, rounded up — the most rounds the ratio greedy can
+/// possibly run. Only *relative* magnitudes matter (deadlines and
+/// backlog are measured in the same units); the estimate never
+/// influences answers.
 pub fn estimated_cost(query: &SeedQuery, pool_len: u32) -> u64 {
     let range = query.range.clone().unwrap_or(0..pool_len);
     let range_len = u64::from(range.end.saturating_sub(range.start));
-    1 + range_len / 256 + query.k as u64
+    (1 + range_len / 256).saturating_add(effective_k(query))
+}
+
+/// Upper bound on the number of greedy selection rounds a query can
+/// drive: `k` for cardinality queries, `ceil(budget / min_cost)` for
+/// budgeted ones. Admission runs *before* engine validation, so
+/// malformed budgets or cost tables must degrade to the `k` estimate
+/// instead of panicking (the planner is on the panic-free serving path).
+fn effective_k(query: &SeedQuery) -> u64 {
+    let Some(budget) = query.budget else {
+        return query.k as u64;
+    };
+    let min_cost = match &query.costs {
+        NodeCosts::Uniform => 1.0,
+        NodeCosts::PerNode(costs) => {
+            let mut min = f64::INFINITY;
+            for &c in costs.iter() {
+                if c.is_finite() && c > 0.0 && c < min {
+                    min = c;
+                }
+            }
+            min
+        }
+    };
+    if !budget.is_finite() || budget < 0.0 || !min_cost.is_finite() {
+        return query.k as u64;
+    }
+    // `f64 as u64` saturates, so even absurd budgets stay well-defined.
+    let seats = (budget / min_cost).ceil();
+    (seats) as u64
 }
 
 /// One admitted query waiting in (or drained from) an [`AdmissionQueue`].
@@ -443,6 +478,31 @@ mod tests {
         assert_eq!(estimated_cost(&q(5), 256), 1 + 1 + 5);
         assert_eq!(estimated_cost(&q(5).over_range(0..512), 10_000), 1 + 2 + 5);
         assert!(estimated_cost(&q(1), 1_000_000) > estimated_cost(&q(1), 1000));
+    }
+
+    #[test]
+    fn cost_model_derives_effective_k_from_the_budget() {
+        // Uniform costs: ceil(budget / 1) rounds of selection at most.
+        assert_eq!(estimated_cost(&SeedQuery::budgeted(5.0), 256), 1 + 1 + 5);
+        assert_eq!(estimated_cost(&SeedQuery::budgeted(4.2), 256), 1 + 1 + 5);
+        // Per-node costs: the cheapest node bounds the round count.
+        let costs = NodeCosts::per_node(vec![2.0, 0.5, 4.0].into());
+        assert_eq!(estimated_cost(&SeedQuery::budgeted(4.0).with_costs(costs), 256), 1 + 1 + 8);
+        // A budgeted q(5) and a top-5 query cost the same: the admission
+        // clock sees through the phrasing of the workload.
+        assert_eq!(estimated_cost(&SeedQuery::budgeted(5.0), 256), estimated_cost(&q(5), 256));
+    }
+
+    #[test]
+    fn cost_model_survives_malformed_budgeted_queries() {
+        // Admission runs before engine validation: garbage budgets or
+        // cost tables must fall back to the `k` estimate, not panic.
+        assert_eq!(estimated_cost(&q(3).with_budget(f64::NAN), 256), 1 + 1 + 3);
+        assert_eq!(estimated_cost(&q(3).with_budget(-1.0), 256), 1 + 1 + 3);
+        let all_bad = NodeCosts::per_node(vec![f64::NAN, -2.0, 0.0].into());
+        assert_eq!(estimated_cost(&q(3).with_budget(4.0).with_costs(all_bad), 256), 1 + 1 + 3);
+        // Saturating cast: an absurd budget yields a huge but defined cost.
+        assert!(estimated_cost(&SeedQuery::budgeted(f64::MAX), 256) > 1 << 60);
     }
 
     #[test]

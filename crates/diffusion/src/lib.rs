@@ -56,7 +56,7 @@ mod spread;
 
 pub use forward::{CascadeBuffers, CascadeSimulator};
 pub use model::Model;
-pub use root::RootDist;
+pub use root::{BenefitTable, RootDist};
 pub use rr::{RrMeta, RrSampler};
 pub use spread::SpreadEstimator;
 pub use trace::{trace_cascade, Activation, CascadeTrace};

@@ -1,0 +1,618 @@
+//! Budgeted (cost-aware) greedy Max-Coverage — the CTVM/BCT workload
+//! class over a frozen pool.
+//!
+//! The paper's Algorithm 2 fixes a *cardinality* `k`; the
+//! production-shaped variants (TipTop, arXiv:1701.08462; cost-aware
+//! viral marketing, arXiv:1910.04134) attach a cost `c(v) > 0` to every
+//! node and replace `|S| ≤ k` with a knapsack constraint
+//! `Σ_{v∈S} c(v) ≤ B`. This module adds that selection mode to
+//! [`CoverageView`] without touching the pool, snapshots, or the
+//! unweighted loop:
+//!
+//! * **Ratio greedy.** Nodes are picked by cost-effectiveness — marginal
+//!   gain divided by cost — under the same lazy max-heap discipline as
+//!   the plain loop (gains only decrease and costs are fixed, so ratios
+//!   only decrease and stale heap entries stay safe). A node whose cost
+//!   exceeds the *remaining* budget is retired permanently: budgets only
+//!   shrink, so it can never become affordable again.
+//! * **The `max(greedy, best single)` guarantee.** Ratio greedy alone
+//!   has an unbounded gap (a cheap low-gain node can lock out one huge
+//!   affordable node); returning the better of the greedy set and the
+//!   best single affordable node restores the classical
+//!   `1 − 1/√e ≈ 0.3935` factor for budgeted maximum coverage (see
+//!   `docs/DERIVATIONS.md` §6 and arXiv:1512.04180).
+//! * **Determinism.** Ties break on the larger node id exactly like the
+//!   unweighted heap, selection never consults wall clocks or hash
+//!   order, and with [`NodeCosts::Uniform`] and `B = k` the pop sequence
+//!   is order-isomorphic to the plain `(gain, id)` heap — seeds, covered
+//!   counts and marginal gains degenerate *bit-identically* to
+//!   [`CoverageView::select`] (a `u32` gain converts to `f64` exactly,
+//!   and division by 1 preserves the order and the padding walk).
+//!
+//! Costs are per-query data like the weighted path's node weights: a
+//! frozen [`GainSnapshot`] is cost-agnostic, so one snapshot serves
+//! every cost vector and budget — the budgeted fast path starts from the
+//! same memcpy as the plain one.
+
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+use sns_graph::NodeId;
+
+use crate::snapshot::WeightOrd;
+use crate::{CoverageView, GainSnapshot, GreedyScratch, SeedConstraints};
+
+/// Per-node selection costs for a budgeted query.
+///
+/// `Uniform` charges every node `1.0`, so a budget `B = k` degenerates
+/// to the cardinality constraint. `PerNode` shares an `Arc` so cloning a
+/// query for another thread copies a pointer, and equality is *identity*
+/// (`Arc::ptr_eq`), mirroring how the query engine keys topic weight
+/// vectors.
+#[derive(Debug, Clone, Default)]
+pub enum NodeCosts {
+    /// Every node costs `1.0` — budget = seed-count budget.
+    #[default]
+    Uniform,
+    /// `costs[v]` is the cost of selecting node `v`; must hold one
+    /// finite, strictly positive entry per node of the pool's universe.
+    PerNode(Arc<[f64]>),
+}
+
+impl NodeCosts {
+    /// Wraps a per-node cost vector.
+    pub fn per_node(costs: Arc<[f64]>) -> Self {
+        NodeCosts::PerNode(costs)
+    }
+
+    /// The cost of selecting node `v`.
+    #[inline]
+    pub fn cost(&self, v: NodeId) -> f64 {
+        match self {
+            NodeCosts::Uniform => 1.0,
+            NodeCosts::PerNode(c) => c[v as usize],
+        }
+    }
+
+    /// Identity comparison: `Uniform == Uniform`, per-node vectors by
+    /// `Arc::ptr_eq` — the same rule the engine uses for topic weights.
+    pub fn same_costs(&self, other: &NodeCosts) -> bool {
+        match (self, other) {
+            (NodeCosts::Uniform, NodeCosts::Uniform) => true,
+            (NodeCosts::PerNode(a), NodeCosts::PerNode(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+
+    /// Validates the vector against a pool of `n` nodes and returns the
+    /// cheapest cost (the selection loop's stopping threshold).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a per-node vector is not one finite, strictly positive
+    /// cost per node.
+    fn validated_min(&self, n: u32) -> f64 {
+        match self {
+            NodeCosts::Uniform => 1.0,
+            NodeCosts::PerNode(c) => {
+                assert_eq!(c.len(), n as usize, "need one cost per node");
+                let mut min = f64::INFINITY;
+                for &x in c.iter() {
+                    assert!(x.is_finite() && x > 0.0, "node costs must be finite and positive");
+                    min = min.min(x);
+                }
+                min
+            }
+        }
+    }
+}
+
+/// Result of a budgeted greedy selection
+/// ([`CoverageView::select_budgeted`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BudgetedCoverageResult {
+    /// Selected seed nodes, in selection order.
+    pub seeds: Vec<NodeId>,
+    /// Number of distinct in-range sets the seeds cover.
+    pub covered: u64,
+    /// Marginal coverage of each seed at its selection time (`0` for
+    /// budget-filling padding seeds).
+    pub marginal_gains: Vec<u64>,
+    /// Total cost charged against the budget.
+    pub spent: f64,
+    /// Whether the best-single-affordable-node arm of the
+    /// `max(greedy, best single)` guarantee beat the ratio-greedy set
+    /// (in which case `seeds` holds exactly that one node).
+    pub single_fallback: bool,
+}
+
+impl CoverageView<'_> {
+    /// Budgeted greedy Max-Coverage: picks seeds by cost-effectiveness
+    /// (`gain / cost`) until no affordable node remains, then returns the
+    /// better of that set and the best single affordable node — the
+    /// standard `1 − 1/√e` approximation for coverage under a knapsack
+    /// constraint (see the module docs).
+    ///
+    /// Forced seeds are selected first in order, charging the budget;
+    /// excluded nodes are never selected. Leftover budget is spent on
+    /// zero-gain padding seeds (ascending ids), mirroring the
+    /// cardinality path's padding contract, so with
+    /// [`NodeCosts::Uniform`] and `budget = k` the result is
+    /// bit-identical to [`CoverageView::select`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget` is not finite and nonnegative, if `costs` is
+    /// malformed (see [`NodeCosts`]), or if the forced seeds alone
+    /// overrun the budget.
+    pub fn select_budgeted(
+        &self,
+        budget: f64,
+        costs: &NodeCosts,
+        constraints: &SeedConstraints<'_>,
+        scratch: &mut GreedyScratch,
+    ) -> BudgetedCoverageResult {
+        self.select_budgeted_inner(budget, costs, constraints, scratch, None)
+    }
+
+    /// [`CoverageView::select_budgeted`] with the histogram pass replaced
+    /// by a memcpy of `snapshot`'s frozen gains — the frozen-pool fast
+    /// path. Snapshots are cost-agnostic, so one snapshot serves every
+    /// `(budget, costs)` pair. Bit-identical to
+    /// [`CoverageView::select_budgeted`].
+    ///
+    /// # Panics
+    ///
+    /// As [`CoverageView::select_budgeted`], plus if `snapshot` was built
+    /// for a different pool slice.
+    pub fn select_budgeted_from_snapshot(
+        &self,
+        snapshot: &GainSnapshot,
+        budget: f64,
+        costs: &NodeCosts,
+        constraints: &SeedConstraints<'_>,
+        scratch: &mut GreedyScratch,
+    ) -> BudgetedCoverageResult {
+        self.select_budgeted_inner(budget, costs, constraints, scratch, Some(snapshot))
+    }
+
+    fn select_budgeted_inner(
+        &self,
+        budget: f64,
+        costs: &NodeCosts,
+        constraints: &SeedConstraints<'_>,
+        scratch: &mut GreedyScratch,
+        frozen: Option<&GainSnapshot>,
+    ) -> BudgetedCoverageResult {
+        let n = self.num_nodes();
+        assert!(budget.is_finite() && budget >= 0.0, "budget must be finite and nonnegative");
+        let min_cost = costs.validated_min(n);
+        let generation = scratch.begin_run(n as usize, self.len());
+
+        let mut heap_buf = std::mem::take(&mut scratch.wheap_buf);
+        heap_buf.clear();
+        let gain = &mut scratch.gain;
+        gain.clear();
+        match frozen {
+            Some(snapshot) => {
+                assert_eq!(
+                    snapshot.range(),
+                    self.range(),
+                    "gain snapshot was built for a different pool slice"
+                );
+                gain.extend_from_slice(snapshot.gains());
+            }
+            None => {
+                gain.resize(n as usize, 0);
+                for &v in self.raw_members() {
+                    gain[v as usize] += 1;
+                }
+            }
+        }
+
+        // Excluded nodes are retired before anything reads the gain
+        // table, so neither the greedy loop, the padding, nor the
+        // single-node fallback can return them.
+        for &v in constraints.excluded {
+            scratch.selected_stamp[v as usize] = generation;
+        }
+
+        // The other arm of the max(greedy, best single) guarantee: the
+        // highest-gain node affordable within the *full* budget, read off
+        // the initial gains before anything decrements them. Forced seeds
+        // change what the query means (the fallback would drop them), so
+        // the arm only applies to unconstrained-prefix queries.
+        let mut best_single: Option<(u32, NodeId)> = None;
+        if constraints.forced.is_empty() {
+            for v in 0..n {
+                let g = gain[v as usize];
+                if g == 0 || scratch.selected_stamp[v as usize] == generation {
+                    continue;
+                }
+                if costs.cost(v) <= budget && best_single.is_none_or(|b| (g, v) > b) {
+                    best_single = Some((g, v));
+                }
+            }
+        }
+
+        // Seed the cost-effectiveness heap. `u32 → f64` is exact and the
+        // tie-break is the node id, so with uniform costs this heap is
+        // order-isomorphic to the plain `(gain, id)` heap.
+        heap_buf.extend(
+            (0..n)
+                .filter(|&v| gain[v as usize] > 0)
+                .map(|v| (WeightOrd(f64::from(gain[v as usize]) / costs.cost(v)), v)),
+        );
+        let mut heap: BinaryHeap<(WeightOrd, NodeId)> = BinaryHeap::from(heap_buf);
+
+        let mut seeds = Vec::new();
+        let mut marginal_gains = Vec::new();
+        let mut covered = 0u64;
+        let mut remaining = budget;
+        let mut spent = 0.0f64;
+
+        for &v in constraints.forced {
+            if scratch.selected_stamp[v as usize] == generation {
+                continue; // duplicate forced seed: selected (and charged) once
+            }
+            let c = costs.cost(v);
+            assert!(c <= remaining, "forced seeds overrun the budget {budget}");
+            scratch.selected_stamp[v as usize] = generation;
+            remaining -= c;
+            spent += c;
+            let g = gain[v as usize];
+            seeds.push(v);
+            marginal_gains.push(u64::from(g));
+            covered += u64::from(g);
+            if g > 0 {
+                self.cover_sets_of(v, generation, &mut scratch.covered_stamp, gain);
+            }
+        }
+
+        while remaining >= min_cost {
+            let Some((WeightOrd(r), v)) = heap.pop() else { break };
+            if scratch.selected_stamp[v as usize] == generation {
+                continue;
+            }
+            let g = gain[v as usize];
+            let current = f64::from(g) / costs.cost(v);
+            if r > current {
+                // Stale entry: re-key with the exact ratio. Gains only
+                // decrease and costs are fixed, so ratios only decrease
+                // and the max-heap invariant stays sound.
+                if g > 0 {
+                    heap.push((WeightOrd(current), v));
+                }
+                continue;
+            }
+            if g == 0 {
+                break; // nothing left to cover
+            }
+            let c = costs.cost(v);
+            if c > remaining {
+                // Unaffordable now; the budget only shrinks, so retire
+                // the node for the rest of the run (padding included).
+                scratch.selected_stamp[v as usize] = generation;
+                continue;
+            }
+            scratch.selected_stamp[v as usize] = generation;
+            remaining -= c;
+            spent += c;
+            seeds.push(v);
+            marginal_gains.push(u64::from(g));
+            covered += u64::from(g);
+            self.cover_sets_of(v, generation, &mut scratch.covered_stamp, gain);
+            debug_assert_eq!(gain[v as usize], 0);
+        }
+
+        // Spend leftover budget on zero-gain padding, ascending ids —
+        // the budgeted mirror of the cardinality path's padding. Every
+        // node with residual gain was either selected or retired as
+        // unaffordable above, so padding seeds genuinely add nothing.
+        let mut next = 0u32;
+        while next < n && remaining >= min_cost {
+            if scratch.selected_stamp[next as usize] != generation {
+                let c = costs.cost(next);
+                if c <= remaining {
+                    scratch.selected_stamp[next as usize] = generation;
+                    remaining -= c;
+                    spent += c;
+                    seeds.push(next);
+                    marginal_gains.push(0);
+                }
+            }
+            next += 1;
+        }
+
+        scratch.wheap_buf = heap.into_vec();
+
+        if let Some((bg, bv)) = best_single {
+            if u64::from(bg) > covered {
+                // The single affordable node beats the whole ratio-greedy
+                // set — the classical bad case for plain ratio greedy.
+                return BudgetedCoverageResult {
+                    seeds: vec![bv],
+                    covered: u64::from(bg),
+                    marginal_gains: vec![u64::from(bg)],
+                    spent: costs.cost(bv),
+                    single_fallback: true,
+                };
+            }
+        }
+        BudgetedCoverageResult { seeds, covered, marginal_gains, spent, single_fallback: false }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RrCollection;
+    use sns_diffusion::RrMeta;
+
+    fn m(root: NodeId) -> RrMeta {
+        RrMeta { root, edges_examined: 0 }
+    }
+
+    fn pool(sets: &[&[NodeId]], n: u32) -> RrCollection {
+        let mut rc = RrCollection::new(n);
+        for s in sets {
+            rc.push(s, m(s.first().copied().unwrap_or(0)));
+        }
+        rc
+    }
+
+    fn random_pool(seed: u64, n: u32, sets: usize) -> RrCollection {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rc = RrCollection::new(n);
+        for _ in 0..sets {
+            let len = rng.gen_range(1..6usize);
+            let root = rng.gen_range(0..n);
+            let mut s = vec![root];
+            for _ in 1..len {
+                let v = rng.gen_range(0..n);
+                if !s.contains(&v) {
+                    s.push(v);
+                }
+            }
+            rc.push(&s, m(root));
+        }
+        rc
+    }
+
+    fn costs_from(seed: u64, n: u32) -> NodeCosts {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let c: Vec<f64> =
+            (0..n).map(|_| [0.5, 1.0, 1.5, 2.0, 3.0][rng.gen_range(0..5usize)]).collect();
+        NodeCosts::per_node(c.into())
+    }
+
+    #[test]
+    fn uniform_costs_with_budget_k_degenerate_to_top_k() {
+        let mut scratch = GreedyScratch::new();
+        for seed in 0..8u64 {
+            let rc = random_pool(seed, 30, 150);
+            let total = rc.len() as u32;
+            for range in [0..total, 0..total / 2, total / 4..total] {
+                let view = CoverageView::build(&rc, range.clone());
+                let snap = GainSnapshot::build(&view);
+                for k in [1usize, 3, 7, 40] {
+                    let plain = view.select(k, &mut scratch);
+                    let budgeted = view.select_budgeted(
+                        k as f64,
+                        &NodeCosts::Uniform,
+                        &SeedConstraints::none(),
+                        &mut scratch,
+                    );
+                    assert_eq!(budgeted.seeds, plain.seeds, "seed {seed} range {range:?} k {k}");
+                    assert_eq!(budgeted.covered, plain.covered);
+                    assert_eq!(budgeted.marginal_gains, plain.marginal_gains);
+                    assert!(!budgeted.single_fallback);
+                    let frozen = view.select_budgeted_from_snapshot(
+                        &snap,
+                        k as f64,
+                        &NodeCosts::Uniform,
+                        &SeedConstraints::none(),
+                        &mut scratch,
+                    );
+                    assert_eq!(frozen, budgeted, "frozen path diverged");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frozen_path_matches_fresh_path_under_arbitrary_costs() {
+        let mut scratch = GreedyScratch::new();
+        for seed in 0..6u64 {
+            let rc = random_pool(50 + seed, 25, 120);
+            let costs = costs_from(seed, 25);
+            for range in [0..120u32, 10..90] {
+                let view = CoverageView::build(&rc, range.clone());
+                let snap = GainSnapshot::build(&view);
+                for budget in [1.5f64, 4.0, 9.5] {
+                    let fresh = view.select_budgeted(
+                        budget,
+                        &costs,
+                        &SeedConstraints::none(),
+                        &mut scratch,
+                    );
+                    let frozen = view.select_budgeted_from_snapshot(
+                        &snap,
+                        budget,
+                        &costs,
+                        &SeedConstraints::none(),
+                        &mut scratch,
+                    );
+                    assert_eq!(frozen, fresh, "seed {seed} range {range:?} budget {budget}");
+                    // repeated queries against one snapshot stay stable
+                    let again = view.select_budgeted_from_snapshot(
+                        &snap,
+                        budget,
+                        &costs,
+                        &SeedConstraints::none(),
+                        &mut scratch,
+                    );
+                    assert_eq!(again, fresh);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_fallback_beats_ratio_greedy_lockout() {
+        // Node 0 covers 4 sets but costs the whole budget; node 5 covers
+        // one set at cost 0.5 with a better ratio. Plain ratio greedy
+        // takes node 5, leaving node 0 unaffordable (and everything else
+        // is overpriced) — the fallback must return node 0 alone.
+        let rc = pool(&[&[0, 1], &[0, 2], &[0, 3], &[0, 4], &[5]], 6);
+        let costs: Vec<f64> = vec![4.0, 5.0, 5.0, 5.0, 5.0, 0.5];
+        let view = CoverageView::build(&rc, 0..5);
+        let r = view.select_budgeted(
+            4.0,
+            &NodeCosts::per_node(costs.into()),
+            &SeedConstraints::none(),
+            &mut GreedyScratch::new(),
+        );
+        assert!(r.single_fallback);
+        assert_eq!(r.seeds, vec![0]);
+        assert_eq!(r.covered, 4);
+        assert_eq!(r.marginal_gains, vec![4]);
+        assert!((r.spent - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unaffordable_nodes_are_skipped_not_fatal() {
+        // Node 0 has the best ratio but costs more than the budget; the
+        // greedy loop must retire it and select affordable nodes.
+        let rc = pool(&[&[0, 1], &[0, 2], &[0, 3], &[1, 4], &[2]], 5);
+        let costs: Vec<f64> = vec![10.0, 1.0, 1.0, 1.0, 1.0];
+        let view = CoverageView::build(&rc, 0..5);
+        let r = view.select_budgeted(
+            2.0,
+            &NodeCosts::per_node(costs.into()),
+            &SeedConstraints::none(),
+            &mut GreedyScratch::new(),
+        );
+        assert!(!r.seeds.contains(&0), "unaffordable node selected: {:?}", r.seeds);
+        assert!(r.covered >= 3, "affordable pair should cover ≥ 3 sets: {r:?}");
+        assert!(r.spent <= 2.0 + 1e-12);
+    }
+
+    #[test]
+    fn forced_seeds_charge_the_budget_and_lead() {
+        let rc = pool(&[&[0, 1], &[0, 2], &[3], &[3, 1]], 4);
+        let view = CoverageView::build(&rc, 0..4);
+        let mut scratch = GreedyScratch::new();
+        let cons = SeedConstraints { forced: &[1], excluded: &[] };
+        let r = view.select_budgeted(2.0, &NodeCosts::Uniform, &cons, &mut scratch);
+        assert_eq!(r.seeds[0], 1);
+        assert_eq!(r.marginal_gains[0], 2);
+        assert_eq!(r.covered, 3);
+        assert!((r.spent - 2.0).abs() < 1e-12);
+        // duplicates are selected and charged once
+        let dup = SeedConstraints { forced: &[1, 1], excluded: &[] };
+        let r2 = view.select_budgeted(2.0, &NodeCosts::Uniform, &dup, &mut scratch);
+        assert_eq!(r2.seeds, r.seeds);
+    }
+
+    #[test]
+    #[should_panic(expected = "overrun the budget")]
+    fn forced_seeds_beyond_the_budget_panic() {
+        let rc = pool(&[&[0], &[1]], 2);
+        let view = CoverageView::build(&rc, 0..2);
+        let cons = SeedConstraints { forced: &[0, 1], excluded: &[] };
+        view.select_budgeted(1.0, &NodeCosts::Uniform, &cons, &mut GreedyScratch::new());
+    }
+
+    #[test]
+    fn excluded_nodes_never_appear_even_via_fallback() {
+        // Node 0 would win both the greedy loop and the fallback; with it
+        // excluded the answer must come from the rest.
+        let rc = pool(&[&[0, 1], &[0, 2], &[0, 3], &[4, 1]], 5);
+        let view = CoverageView::build(&rc, 0..4);
+        let cons = SeedConstraints { forced: &[], excluded: &[0] };
+        let costs: Vec<f64> = vec![1.0, 0.1, 1.0, 1.0, 1.0];
+        let r = view.select_budgeted(
+            1.0,
+            &NodeCosts::per_node(costs.into()),
+            &cons,
+            &mut GreedyScratch::new(),
+        );
+        assert!(!r.seeds.contains(&0), "excluded node selected: {:?}", r.seeds);
+    }
+
+    #[test]
+    fn leftover_budget_pads_with_affordable_zero_gain_nodes() {
+        let rc = pool(&[&[0, 1], &[0, 2]], 6);
+        let view = CoverageView::build(&rc, 0..2);
+        let mut scratch = GreedyScratch::new();
+        // Uniform, budget 4: node 0 covers everything, then 3 pads.
+        let r =
+            view.select_budgeted(4.0, &NodeCosts::Uniform, &SeedConstraints::none(), &mut scratch);
+        assert_eq!(r.seeds, vec![0, 1, 2, 3]);
+        assert_eq!(r.marginal_gains, vec![2, 0, 0, 0]);
+        assert_eq!(r.covered, 2);
+        // Costly padding candidates are skipped when unaffordable.
+        let costs: Vec<f64> = vec![1.0, 9.0, 1.0, 9.0, 1.0, 1.0];
+        let r2 = view.select_budgeted(
+            3.0,
+            &NodeCosts::per_node(costs.into()),
+            &SeedConstraints::none(),
+            &mut scratch,
+        );
+        assert_eq!(r2.seeds, vec![0, 2, 4], "padding must skip nodes it cannot afford");
+    }
+
+    #[test]
+    fn zero_budget_returns_nothing() {
+        let rc = pool(&[&[0, 1]], 2);
+        let view = CoverageView::build(&rc, 0..1);
+        let r = view.select_budgeted(
+            0.0,
+            &NodeCosts::Uniform,
+            &SeedConstraints::none(),
+            &mut GreedyScratch::new(),
+        );
+        assert!(r.seeds.is_empty());
+        assert_eq!(r.covered, 0);
+        assert_eq!(r.spent, 0.0);
+    }
+
+    #[test]
+    fn cost_identity_semantics() {
+        let a: Arc<[f64]> = vec![1.0, 2.0].into();
+        let b: Arc<[f64]> = vec![1.0, 2.0].into();
+        assert!(NodeCosts::Uniform.same_costs(&NodeCosts::Uniform));
+        assert!(NodeCosts::per_node(a.clone()).same_costs(&NodeCosts::per_node(a.clone())));
+        assert!(!NodeCosts::per_node(a.clone()).same_costs(&NodeCosts::per_node(b)));
+        assert!(!NodeCosts::Uniform.same_costs(&NodeCosts::per_node(a)));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn nonpositive_costs_are_rejected() {
+        let rc = pool(&[&[0]], 2);
+        let view = CoverageView::build(&rc, 0..1);
+        view.select_budgeted(
+            1.0,
+            &NodeCosts::per_node(vec![1.0, 0.0].into()),
+            &SeedConstraints::none(),
+            &mut GreedyScratch::new(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one cost per node")]
+    fn wrong_length_costs_are_rejected() {
+        let rc = pool(&[&[0]], 3);
+        let view = CoverageView::build(&rc, 0..1);
+        view.select_budgeted(
+            1.0,
+            &NodeCosts::per_node(vec![1.0].into()),
+            &SeedConstraints::none(),
+            &mut GreedyScratch::new(),
+        );
+    }
+}

@@ -284,9 +284,9 @@ impl<'a> CoverageView<'a> {
     /// Walks the sets of `v` within the view's range, marking each
     /// still-uncovered one covered and decrementing its members' gains —
     /// the decremental-update sweep shared by greedy picks and forced
-    /// seeds.
+    /// seeds (and by the budgeted twin in [`crate::budgeted`]).
     #[inline]
-    fn cover_sets_of(
+    pub(crate) fn cover_sets_of(
         &self,
         v: NodeId,
         generation: u32,
@@ -488,7 +488,8 @@ pub struct GreedyScratch {
     /// Exact current marginal gain per node (valid during a run). `u32`
     /// deliberately: a gain is bounded by the set-id space, and the
     /// decrement sweep's random accesses profit from the halved table.
-    gain: Vec<u32>,
+    /// Shared with the budgeted ratio-greedy in [`crate::budgeted`].
+    pub(crate) gain: Vec<u32>,
     /// Per-slot covered mark: covered iff `== generation`.
     pub(crate) covered_stamp: Vec<u32>,
     /// Per-node selected mark: selected iff `== generation`.

@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 mod bucket;
+mod budgeted;
 mod collection;
 mod coverage;
 mod greedy;
@@ -45,6 +46,7 @@ mod snapshot;
 pub mod store;
 
 pub use bucket::max_coverage_bucket;
+pub use budgeted::{BudgetedCoverageResult, NodeCosts};
 pub use collection::RrCollection;
 pub use coverage::{max_coverage_with, CoverageView, GreedyScratch, SeedConstraints};
 pub use greedy::{

@@ -18,7 +18,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use stop_and_stare::graph::{gen, WeightModel};
-use stop_and_stare::{Model, SamplingContext, SeedQuery, SeedQueryEngine};
+use stop_and_stare::{Model, NodeCosts, SamplingContext, SeedQuery, SeedQueryEngine};
 
 const POOL_SETS: u64 = 2400;
 
@@ -65,9 +65,21 @@ fn topic_weights(topic: usize) -> Arc<[f64]> {
         .clone()
 }
 
+/// One shared per-node cost table (400 nodes) for the budgeted flavors.
+/// Like topic weights, the shared `Arc` is the sharing discipline real
+/// cost-aware callers would use; budgeted queries still group by range
+/// alone (snapshots are cost-agnostic).
+fn shared_costs() -> NodeCosts {
+    static COSTS: OnceLock<Arc<[f64]>> = OnceLock::new();
+    NodeCosts::per_node(
+        COSTS.get_or_init(|| (0..400u32).map(|v| 0.5 + f64::from(v % 4) * 0.25).collect()).clone(),
+    )
+}
+
 /// Decodes one generated query spec: budget, one of four skewed ranges,
-/// and a flavor — plain, one of two shared topics, or a solo weighted
-/// query (no topic id, so the planner must isolate it).
+/// and a flavor — plain, one of two shared topics, a solo weighted
+/// query (no topic id, so the planner must isolate it), or a budgeted
+/// query (uniform-cost degeneration or shared per-node costs).
 fn decode(k: usize, range_pick: u32, flavor: u32) -> SeedQuery {
     let total = POOL_SETS as u32;
     let range = match range_pick {
@@ -76,12 +88,15 @@ fn decode(k: usize, range_pick: u32, flavor: u32) -> SeedQuery {
         2 => total / 2..total,
         _ => 0..total / 4,
     };
-    let q = SeedQuery::top_k(k).over_range(range);
+    let q = SeedQuery::top_k(k).over_range(range.clone());
     match flavor {
         0..=4 => q,
         5..=6 => q.with_root_weights(topic_weights(0)).with_topic(100),
         7 => q.with_root_weights(topic_weights(1)).with_topic(101),
-        _ => q.with_root_weights(topic_weights(0)),
+        8 => q.with_root_weights(topic_weights(0)),
+        // budgeted flavors share the plain snapshot groups
+        9..=10 => SeedQuery::budgeted(k as f64).over_range(range),
+        _ => SeedQuery::budgeted(k as f64 * 0.75).with_costs(shared_costs()).over_range(range),
     }
 }
 
@@ -90,7 +105,7 @@ proptest! {
 
     #[test]
     fn planned_execution_is_bit_identical_across_layouts_orders_and_threads(
-        specs in prop_vec((1usize..=12, 0u32..4, 0u32..9), 1..24),
+        specs in prop_vec((1usize..=12, 0u32..4, 0u32..12), 1..24),
         shuffle_seed in 0u64..1_000_000,
     ) {
         let mut batch: Vec<SeedQuery> =
