@@ -48,6 +48,7 @@ const K: usize = 50;
 
 fn bench_queries(c: &mut Criterion, engine: &SeedQueryEngine, threaded: &SeedQueryEngine) {
     let pool = engine.pool();
+    let pool = &*pool;
     let total = pool.len() as u32;
     let mut group = c.benchmark_group("query_engine_k50");
     group.measurement_time(Duration::from_secs(3));
@@ -198,14 +199,15 @@ fn bench_grow_while_serving(c: &mut Criterion) {
         engine.extend(&ctx, support::SETS / 6);
         engine.answer(&SeedQuery::top_k(K)).expect("valid query");
     }
-    let pool_len = engine.pool().len() as u32;
-    let epochs = engine.pool().epoch_boundaries().len();
+    let grown = engine.pool();
+    let pool_len = grown.len() as u32;
+    let epochs = grown.epoch_boundaries().len();
     println!("grown pool: {} sets in {} epochs", pool_len, epochs);
     assert!(epochs >= 4, "growth must have sealed one epoch per extend");
     let full = SeedQuery::top_k(K);
     assert_eq!(
         engine.answer(&full).expect("valid query").seeds,
-        max_coverage_with(engine.pool(), K, 0..pool_len, &mut GreedyScratch::new()).seeds,
+        max_coverage_with(&grown, K, 0..pool_len, &mut GreedyScratch::new()).seeds,
         "grown engine and direct greedy disagree"
     );
 
@@ -221,11 +223,8 @@ fn bench_grow_while_serving(c: &mut Criterion) {
     // The one-off cost a pool extension adds to the *next* full-range
     // query: merging the per-epoch snapshots (histograms sum, heap seed
     // rebuilt) — what replaces a from-scratch histogram pass.
-    let parts: Vec<GainSnapshot> = engine
-        .pool()
-        .epochs()
-        .map(|e| GainSnapshot::build(&CoverageView::build(engine.pool(), e)))
-        .collect();
+    let parts: Vec<GainSnapshot> =
+        grown.epochs().map(|e| GainSnapshot::build(&CoverageView::build(&grown, e))).collect();
     group.bench_with_input(BenchmarkId::new("epoch-merge-build", "full"), &parts, |b, parts| {
         b.iter(|| {
             let refs: Vec<&GainSnapshot> = parts.iter().collect();
@@ -234,11 +233,9 @@ fn bench_grow_while_serving(c: &mut Criterion) {
     });
     // What a snapshot-less server pays per query on the same grown pool.
     let mut scratch = GreedyScratch::new();
-    group.bench_with_input(
-        BenchmarkId::new("per-call-histogram", "full"),
-        engine.pool(),
-        |b, pool| b.iter(|| max_coverage_with(pool, K, 0..pool_len, &mut scratch).covered),
-    );
+    group.bench_with_input(BenchmarkId::new("per-call-histogram", "full"), &*grown, |b, pool| {
+        b.iter(|| max_coverage_with(pool, K, 0..pool_len, &mut scratch).covered)
+    });
     group.finish();
 }
 

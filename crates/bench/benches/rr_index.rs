@@ -48,7 +48,7 @@ fn bench_index_build(c: &mut Criterion, pool: &RrCollection) {
         group.bench_with_input(BenchmarkId::new("two-tier-seal", threads), &threads, |b, &t| {
             let mut p = pool.clone();
             b.iter(|| {
-                p.seal_parallel(t);
+                let _ = p.seal_parallel(t);
                 p.sealed_sets()
             })
         });

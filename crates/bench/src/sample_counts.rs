@@ -145,6 +145,18 @@ fn budgeted_counter_name(name: &'static str) -> &'static str {
     }
 }
 
+/// Counters of the concurrent sample-while-serving scenario
+/// ([`crate::traffic::TrafficConfig::ci_concurrent`], run through
+/// [`crate::traffic::simulate_concurrent`]): the pool grows on a real
+/// second thread while the serving loop keeps draining. Byte-reproducible
+/// despite the wall-clock race because the serving side advances its
+/// known pool length only at growth-acknowledgment sync points and every
+/// query carries an explicit range — see `simulate_concurrent`'s docs.
+/// The names are `traffic_concurrent_*` natively; no rename map needed.
+pub fn traffic_concurrent_counters() -> Vec<(&'static str, u64)> {
+    crate::traffic::simulate_concurrent(&crate::traffic::TrafficConfig::ci_concurrent()).counters
+}
+
 /// Realized budgeted-greedy / exact-IP coverage ratios, in permille, on
 /// the oracle fixtures ([`crate::oracle`]) — deterministic *quality*
 /// counters: both sides are pure functions of the fixtures, so a greedy
@@ -212,6 +224,7 @@ pub fn counters() -> Vec<(&'static str, u64)> {
     out.extend(store_counters());
     out.extend(traffic_counters());
     out.extend(traffic_budgeted_counters());
+    out.extend(traffic_concurrent_counters());
     out.extend(oracle_gap_counters());
     out
 }
@@ -230,6 +243,7 @@ mod tests {
         assert!(a.iter().filter(|(name, _)| name.ends_with("rr_sets_total")).all(|&(_, v)| v > 0));
         assert!(a.iter().any(|(name, v)| name.starts_with("query_engine_grow") && *v > 0));
         assert!(a.iter().any(|(name, v)| name.starts_with("traffic_sim") && *v > 0));
+        assert!(a.iter().any(|(name, v)| name.starts_with("traffic_concurrent") && *v > 0));
         // one bit flipped in the last of 4 epochs: 3 kept, 1 lost
         assert!(a.contains(&("store_recovered_epochs", 3)));
         assert!(a.contains(&("store_lost_epochs", 1)));

@@ -129,6 +129,18 @@ impl TrafficConfig {
     pub fn ci_budgeted() -> Self {
         TrafficConfig { budget_share: 0.35, ..TrafficConfig::ci() }
     }
+
+    /// The sample-while-serving CI scenario for
+    /// [`simulate_concurrent`]: the [`TrafficConfig::ci`] shape, but
+    /// growth runs on a real second thread through
+    /// [`SeedQueryEngine::grower`](sns_core::SeedQueryEngine::grower)
+    /// while the serving loop keeps draining batches. More frequent,
+    /// smaller growths maximize the serve/grow overlap window. Counters
+    /// are baselined under the `traffic_concurrent_*` names and must be
+    /// byte-identical across runs and engine thread counts.
+    pub fn ci_concurrent() -> Self {
+        TrafficConfig { threads: 2, grow_every: 6, grow_sets: 600, ..TrafficConfig::ci() }
+    }
 }
 
 /// What one simulation produced: the deterministic counter set CI gates
@@ -174,6 +186,58 @@ impl Zipf {
         let u: f64 = rng.gen();
         self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
     }
+}
+
+/// Draws one arrival — query (always over an explicit range), priority
+/// and deadline — advancing the traffic RNG in the exact draw order the
+/// baselined counter sets were recorded under. Shared by the sequential
+/// and the concurrent simulator so both replay the same stream for the
+/// same seed and `pool_len` sequence.
+#[allow(clippy::too_many_arguments)]
+fn draw_arrival(
+    cfg: &TrafficConfig,
+    rng: &mut StdRng,
+    topics: &[TargetWeights],
+    zipf: &Zipf,
+    costs: &Arc<[f64]>,
+    pool_len: u32,
+    now: u64,
+    budgeted_arrivals: &mut u64,
+) -> (SeedQuery, Priority, Option<u64>) {
+    let k = cfg.mixed_k[rng.gen_range(0..cfg.mixed_k.len())];
+    // Skewed range mix: the full pool is hottest, halves and the
+    // head quarter make up the tail — grouping-friendly, like
+    // real dashboards asking the same few slices.
+    let range = match rng.gen_range(0..10u32) {
+        0..=4 => 0..pool_len,
+        5..=6 => 0..pool_len / 2,
+        7..=8 => pool_len / 2..pool_len,
+        _ => 0..pool_len / 4,
+    };
+    let query = if rng.gen_bool(cfg.topic_share) {
+        topics[zipf.sample(rng)].seed_query(k).over_range(range)
+    } else if cfg.budget_share > 0.0 && rng.gen_bool(cfg.budget_share) {
+        *budgeted_arrivals += 1;
+        if rng.gen_range(0..2u32) == 0 {
+            // uniform costs, budget = k: the degeneration case,
+            // bit-identical to the top-k query it replaces
+            SeedQuery::budgeted(k as f64).over_range(range)
+        } else {
+            SeedQuery::budgeted(k as f64 * 0.75)
+                .with_costs(NodeCosts::per_node(costs.clone()))
+                .over_range(range)
+        }
+    } else {
+        SeedQuery::top_k(k).over_range(range)
+    };
+    let priority = match rng.gen_range(0..10u32) {
+        0 => Priority::High,
+        9 => Priority::Low,
+        _ => Priority::Normal,
+    };
+    let deadline =
+        rng.gen_bool(cfg.deadline_share).then(|| now + rng.gen_range(cfg.patience.clone()));
+    (query, priority, deadline)
 }
 
 /// Percentile of a sorted slice (nearest-rank); 0 for empty input.
@@ -230,39 +294,16 @@ pub fn simulate(cfg: &TrafficConfig) -> TrafficReport {
         let arrivals = cfg.base_arrivals * if burst { cfg.burst_multiplier } else { 1 };
         for _ in 0..arrivals {
             arrivals_total += 1;
-            let k = cfg.mixed_k[rng.gen_range(0..cfg.mixed_k.len())];
-            // Skewed range mix: the full pool is hottest, halves and the
-            // head quarter make up the tail — grouping-friendly, like
-            // real dashboards asking the same few slices.
-            let range = match rng.gen_range(0..10u32) {
-                0..=4 => 0..pool_len,
-                5..=6 => 0..pool_len / 2,
-                7..=8 => pool_len / 2..pool_len,
-                _ => 0..pool_len / 4,
-            };
-            let query = if rng.gen_bool(cfg.topic_share) {
-                topics[zipf.sample(&mut rng)].seed_query(k).over_range(range)
-            } else if cfg.budget_share > 0.0 && rng.gen_bool(cfg.budget_share) {
-                budgeted_arrivals += 1;
-                if rng.gen_range(0..2u32) == 0 {
-                    // uniform costs, budget = k: the degeneration case,
-                    // bit-identical to the top-k query it replaces
-                    SeedQuery::budgeted(k as f64).over_range(range)
-                } else {
-                    SeedQuery::budgeted(k as f64 * 0.75)
-                        .with_costs(NodeCosts::per_node(costs.clone()))
-                        .over_range(range)
-                }
-            } else {
-                SeedQuery::top_k(k).over_range(range)
-            };
-            let priority = match rng.gen_range(0..10u32) {
-                0 => Priority::High,
-                9 => Priority::Low,
-                _ => Priority::Normal,
-            };
-            let deadline =
-                rng.gen_bool(cfg.deadline_share).then(|| now + rng.gen_range(cfg.patience.clone()));
+            let (query, priority, deadline) = draw_arrival(
+                cfg,
+                &mut rng,
+                &topics,
+                &zipf,
+                &costs,
+                pool_len,
+                now,
+                &mut budgeted_arrivals,
+            );
             // Rejections are the queue's job; the typed reasons land in
             // its stats and are surfaced through the counters below.
             let _ = queue.admit(query, priority, deadline, now, pool_len);
@@ -317,6 +358,187 @@ pub fn simulate(cfg: &TrafficConfig) -> TrafficReport {
         // scenarios' counter sets stay byte-identical to their baselines.
         counters.push(("traffic_sim_budgeted_arrivals", budgeted_arrivals));
     }
+    let secs = service_total_ns as f64 / 1e9;
+    TrafficReport {
+        counters,
+        p50_service_ns: percentile(&service_ns, 50.0),
+        p99_service_ns: percentile(&service_ns, 99.0),
+        queries_per_sec: if secs > 0.0 { served as f64 / secs } else { 0.0 },
+        served,
+    }
+}
+
+/// Runs the scenario with growth on a **real second thread**: a grower
+/// thread owns [`SeedQueryEngine::grower`](sns_core::SeedQueryEngine::grower)
+/// and extends the shared engine while this (serving) thread keeps
+/// admitting and answering — the grow-while-serving contract exercised
+/// end to end, wall-clock concurrently, with no reader-side lock on the
+/// serving path.
+///
+/// Counters stay **byte-reproducible** despite the racing growth
+/// because the serving side is pinned to explicit synchronization
+/// points: the simulator's *known* pool length advances only when a
+/// growth acknowledgment is received (at the next growth step, or at
+/// drain-out after the last), every generated query carries an explicit
+/// range within the known length, and the planner groups by those
+/// explicit ranges alone. Whichever directory generation a drained
+/// batch happens to pin, prefix determinism makes its answers — and the
+/// group/sojourn counters — identical to some sealed prefix, so the
+/// wall-clock race never leaks into `counters`.
+///
+/// With `cfg.verify` every served `(query, answer)` pair is re-checked
+/// after drain-out against a reference engine sampled at the final size
+/// in one shot — the bit-identity acceptance of the concurrent path.
+pub fn simulate_concurrent(cfg: &TrafficConfig) -> TrafficReport {
+    use std::sync::mpsc;
+
+    let g = gen::erdos_renyi(500, 3000, cfg.seed).build(WeightModel::WeightedCascade).unwrap();
+    let ctx = SamplingContext::new(&g, Model::IndependentCascade)
+        .with_seed(cfg.seed)
+        .with_threads(cfg.threads);
+    let engine = SeedQueryEngine::sample(&ctx, cfg.pool_sets).with_threads(cfg.threads);
+    let topics: Vec<TargetWeights> = (0..cfg.topics)
+        .map(|t| {
+            TargetWeights::synthetic_topic(&g, 0.15, 1.0, cfg.seed ^ (t as u64 + 1))
+                .expect("valid synthetic topic")
+        })
+        .collect();
+    let zipf = Zipf::new(cfg.topics.max(1), cfg.zipf_s);
+    let costs: Arc<[f64]> = (0..g.num_nodes()).map(|v| 0.5 + f64::from(v % 4) * 0.5).collect();
+    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut queue = AdmissionQueue::new(cfg.queue_capacity);
+
+    let mut now = 0u64;
+    let mut arrivals_total = 0u64;
+    let mut budgeted_arrivals = 0u64;
+    let mut growth_acks = 0u64;
+    let mut sojourns: Vec<u64> = Vec::new();
+    let mut service_ns: Vec<u64> = Vec::new();
+    let mut service_total_ns = 0u128;
+    // The serving side's view of the pool: advances ONLY at ack sync
+    // points, never by peeking at the (racing) live directory.
+    let mut known_len = engine.pool().id_range().end;
+    let mut verified: Vec<(SeedQuery, sns_core::SeedAnswer)> = Vec::new();
+
+    let (cmd_tx, cmd_rx) = mpsc::channel::<u64>();
+    let (ack_tx, ack_rx) = mpsc::channel::<(u64, u64)>();
+    std::thread::scope(|s| {
+        let engine_ref = &engine;
+        let ctx_ref = &ctx;
+        s.spawn(move || {
+            // The grower thread: single writer, processes growth
+            // commands in order, acknowledges each published generation.
+            for additional in cmd_rx {
+                let outcome = engine_ref.grower().extend(ctx_ref, additional);
+                if ack_tx.send((outcome.generation(), outcome.pool_len())).is_err() {
+                    break;
+                }
+            }
+        });
+
+        let mut pending = 0u32;
+        for step in 0..cfg.steps {
+            if cfg.grow_every > 0 && step > 0 && step % cfg.grow_every == 0 {
+                // Sync point: absorb the previous growth (blocking —
+                // in practice it finished steps ago) before commanding
+                // the next, then let the grower run while the steps
+                // until the next sync keep serving concurrently.
+                if pending > 0 {
+                    let (_generation, len) = ack_rx.recv().expect("grower thread alive");
+                    known_len = u32::try_from(len).expect("pool fits the u32 id domain");
+                    pending -= 1;
+                    growth_acks += 1;
+                }
+                cmd_tx.send(cfg.grow_sets).expect("grower thread alive");
+                pending += 1;
+            }
+
+            let burst = cfg.burst_every > 0 && step % cfg.burst_every == cfg.burst_every - 1;
+            let arrivals = cfg.base_arrivals * if burst { cfg.burst_multiplier } else { 1 };
+            for _ in 0..arrivals {
+                arrivals_total += 1;
+                let (query, priority, deadline) = draw_arrival(
+                    cfg,
+                    &mut rng,
+                    &topics,
+                    &zipf,
+                    &costs,
+                    known_len,
+                    now,
+                    &mut budgeted_arrivals,
+                );
+                let _ = queue.admit(query, priority, deadline, now, known_len);
+            }
+
+            let drained = queue.drain(now, cfg.drain_per_step);
+            if drained.is_empty() {
+                continue;
+            }
+            let mut cursor = now;
+            for p in &drained {
+                cursor += p.cost;
+                sojourns.push(cursor - p.arrived);
+            }
+            let batch: Vec<SeedQuery> = drained.iter().map(|p| p.query.clone()).collect();
+            let start = Instant::now();
+            let answers = engine.answer_planned(&batch).expect("admitted queries are valid");
+            let elapsed = start.elapsed().as_nanos();
+            service_total_ns += elapsed;
+            let per_query = (elapsed / batch.len() as u128) as u64;
+            service_ns.extend(std::iter::repeat_n(per_query, batch.len()));
+            if cfg.verify {
+                verified.extend(batch.into_iter().zip(answers));
+            }
+            now = cursor;
+        }
+
+        // Drain-out: hang up the command channel (ends the grower loop)
+        // and absorb every outstanding ack so the final length and
+        // generation below are the fully-grown ones.
+        drop(cmd_tx);
+        while pending > 0 {
+            let (_generation, len) = ack_rx.recv().expect("grower thread alive");
+            known_len = u32::try_from(len).expect("pool fits the u32 id domain");
+            pending -= 1;
+            growth_acks += 1;
+        }
+    });
+
+    if cfg.verify {
+        // Bit-identity acceptance: every answer served mid-growth equals
+        // the answer of an engine that sampled the final pool up front
+        // (same deterministic stream, one shot).
+        let reference =
+            SeedQueryEngine::sample(&ctx, engine.pool().len() as u64).with_threads(cfg.threads);
+        for (query, answer) in &verified {
+            assert_eq!(
+                &reference.answer(query).expect("served queries are valid"),
+                answer,
+                "concurrently served answer diverged from the one-shot reference for {query:?}"
+            );
+        }
+    }
+
+    let qstats = queue.stats();
+    let estats = engine.stats();
+    sojourns.sort_unstable();
+    service_ns.sort_unstable();
+    let served = qstats.drained;
+    let counters = vec![
+        ("traffic_concurrent_arrivals", arrivals_total),
+        ("traffic_concurrent_served", served),
+        ("traffic_concurrent_rejected_queue_full", qstats.rejected_queue_full),
+        ("traffic_concurrent_rejected_deadline", qstats.rejected_deadline),
+        ("traffic_concurrent_expired", qstats.expired),
+        ("traffic_concurrent_left_queued", queue.len() as u64),
+        ("traffic_concurrent_planner_groups", estats.planner_groups),
+        ("traffic_concurrent_builds_saved", estats.planner_builds_saved),
+        ("traffic_concurrent_growth_acks", growth_acks),
+        ("traffic_concurrent_final_generation", engine.generation()),
+        ("traffic_concurrent_final_pool_len", u64::from(known_len)),
+        ("traffic_concurrent_sojourn_p50", percentile(&sojourns, 50.0)),
+        ("traffic_concurrent_sojourn_p99", percentile(&sojourns, 99.0)),
+    ];
     let secs = service_total_ns as f64 / 1e9;
     TrafficReport {
         counters,

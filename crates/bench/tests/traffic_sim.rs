@@ -109,3 +109,65 @@ fn planned_answers_match_unplanned_under_traffic() {
     let report = simulate(&cfg);
     assert!(report.served > 0);
 }
+
+#[test]
+fn concurrent_scenario_counters_are_reproducible_and_thread_invariant() {
+    use sns_bench::traffic::simulate_concurrent;
+    // The hard concurrency gate: growth races serving on a real second
+    // thread, and the counters must still replay byte-identically —
+    // across runs AND across engine thread counts (the CI `concurrency`
+    // step runs this at 1, 2 and 8 worker threads via the override).
+    let threads = std::env::var("SNS_TRAFFIC_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(2);
+    let cfg = TrafficConfig { threads, ..TrafficConfig::ci_concurrent() };
+    let a = simulate_concurrent(&cfg);
+    let b = simulate_concurrent(&cfg);
+    assert_eq!(a.counters, b.counters, "concurrent scenario must replay byte-identically");
+    let other = simulate_concurrent(&TrafficConfig {
+        threads: if threads == 1 { 4 } else { 1 },
+        ..TrafficConfig::ci_concurrent()
+    });
+    assert_eq!(a.counters, other.counters, "gated counters must not depend on threads");
+
+    let get = |name: &str| {
+        a.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .unwrap_or_else(|| panic!("missing counter {name}"))
+            .1
+    };
+    // The scenario must actually overlap growth with serving: four
+    // growth commands are issued (steps 6, 12, 18, 24), all acknowledged
+    // by drain-out, each publishing one directory generation.
+    assert_eq!(get("traffic_concurrent_growth_acks"), 4, "{:?}", a.counters);
+    assert_eq!(get("traffic_concurrent_final_generation"), 4, "{:?}", a.counters);
+    assert_eq!(get("traffic_concurrent_final_pool_len"), 1600 + 4 * 600, "{:?}", a.counters);
+    assert!(get("traffic_concurrent_served") > 0);
+    assert!(get("traffic_concurrent_planner_groups") > 0);
+    assert!(get("traffic_concurrent_builds_saved") > 0, "{:?}", a.counters);
+    // Conservation holds under concurrent growth too.
+    assert_eq!(
+        get("traffic_concurrent_arrivals"),
+        get("traffic_concurrent_served")
+            + get("traffic_concurrent_rejected_queue_full")
+            + get("traffic_concurrent_rejected_deadline")
+            + get("traffic_concurrent_expired")
+            + get("traffic_concurrent_left_queued"),
+        "{:?}",
+        a.counters
+    );
+}
+
+#[test]
+fn concurrently_served_answers_match_the_one_shot_reference() {
+    use sns_bench::traffic::simulate_concurrent;
+    // verify: true re-checks every (query, answer) pair served while
+    // growth raced the serving loop against an engine that sampled the
+    // final pool size up front — the linearizability acceptance for the
+    // traffic path. A divergence panics inside simulate_concurrent.
+    let cfg = TrafficConfig { steps: 14, verify: true, ..TrafficConfig::ci_concurrent() };
+    let report = simulate_concurrent(&cfg);
+    assert!(report.served > 0);
+}

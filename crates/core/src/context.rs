@@ -117,6 +117,14 @@ impl<'g> SamplingContext<'g> {
         self.roots.gamma(self.graph)
     }
 
+    /// Content checksum of the root weight/benefit vector, `None` for
+    /// uniform roots. Recorded in pool-store fingerprints so a persisted
+    /// weighted pool refuses to reload under a different vector — even
+    /// one whose total Γ happens to match.
+    pub fn roots_checksum(&self) -> Option<u64> {
+        self.roots.content_checksum()
+    }
+
     /// Worst-case `Γ / OPT_k` used to cap sample counts (`Nmax`):
     /// `n/k` for IM (`OPT_k ≥ k`: seeds influence themselves), and
     /// `Γ / Σ(top-k weights)` for the weighted universe (seeding the k

@@ -38,22 +38,40 @@
 //! counters are surfaced through [`QueryStats`]. Eviction only ever
 //! costs a rebuild, never correctness.
 //!
-//! See `docs/ARCHITECTURE.md` (repository root) for the full pipeline
-//! and epoch lifecycle diagrams.
+//! # Grow-while-serving
+//!
+//! The engine's pool lives behind an [`EpochDirectory`]: an immutable,
+//! fully sealed [`RrCollection`] per published generation. Every query
+//! entry point pins the current generation with **one atomic load** —
+//! no reader-side lock exists anywhere on the serving path (enforced by
+//! `sns-lint locks/blocking`) — validates against that pin, and answers
+//! from it, so each answer is bit-identical to a direct query against
+//! one published pool prefix (linearizable at the pin).
+//! [`SeedQueryEngine::grower`] hands out the single-writer growth
+//! handle: [`Grower::extend`] clones the published pool, samples the
+//! continuation of the deterministic stream, seals one new epoch,
+//! pre-freezes its [`GainSnapshot`], and publishes the grown pool as
+//! the next generation — writers never block readers, readers never
+//! block writers.
+//!
+//! See `docs/ARCHITECTURE.md` (repository root) for the full pipeline,
+//! epoch lifecycle, and concurrency-model diagrams.
 
-use std::collections::BTreeMap;
+use std::cell::RefCell;
 use std::ops::Range;
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use sns_diffusion::RootDist;
 use sns_graph::NodeId;
 use sns_rrset::{
-    CoverageView, GainSnapshot, GreedyScratch, NodeCosts, PoolStore, Recovery, RrCollection,
-    SaveStats, SeedConstraints, StoreFingerprint, WeightedGainSnapshot,
+    CoverageView, EpochDirectory, GainSnapshot, GreedyScratch, NodeCosts, PoolStore, Recovery,
+    RrCollection, SaveStats, SeedConstraints, StoreFingerprint, WeightedGainSnapshot,
 };
 
+use crate::cache::{CacheKey, CachedSnapshot, SnapshotCache};
+use crate::grower::{Grower, GrowerState, GrowthOutcome};
 use crate::planner::{BatchPlan, GroupKey, PlanGroup};
 use crate::{CoreError, RunResult, SamplingContext};
 
@@ -230,132 +248,6 @@ pub struct QueryStats {
     pub planner_builds_saved: u64,
 }
 
-/// Key of one snapshot-cache entry. `Ord` because the cache is a
-/// `BTreeMap` — iteration order (and therefore any eviction tie-break)
-/// must be deterministic, per the workspace determinism contract.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-enum CacheKey {
-    /// Unweighted snapshot of `start..end`, built when `epochs` sealed
-    /// boundaries were ≤ `end`. With today's growth paths the signature
-    /// is constant per range — every constructor and `extend` fully
-    /// seals the pool before queries run, so no queried `end` ever gains
-    /// a later boundary at or below it. It is part of the key so that a
-    /// future non-sealing append path re-keys (rather than serves
-    /// forever) entries that covered then-pending sets: the stale entry
-    /// would still be *correct* (ranges are immutable), just built
-    /// without the epoch structure, and ages out by LRU.
-    Plain { start: u32, end: u32, epochs: u32 },
-    /// Weighted snapshot of `start..end` under the weight vector named
-    /// by `topic`. No epoch signature: weighted snapshots are built
-    /// whole-range and an id range's contents never change.
-    Weighted { start: u32, end: u32, topic: u64 },
-}
-
-/// One cached snapshot (see [`CacheKey`]).
-#[derive(Debug, Clone)]
-enum CachedSnapshot {
-    Plain(Arc<GainSnapshot>),
-    /// Holds the weight vector the snapshot was built with: `Arc`
-    /// identity verifies the caller's same-topic-same-weights contract,
-    /// and keeping the allocation alive ensures the address cannot be
-    /// recycled into a false match.
-    Weighted(Arc<WeightedGainSnapshot>, Arc<[f64]>),
-}
-
-impl CachedSnapshot {
-    fn bytes(&self) -> u64 {
-        match self {
-            CachedSnapshot::Plain(s) => s.memory_bytes(),
-            // The retained weight vector counts against the budget: the
-            // cache entry keeps it alive even after the caller drops its
-            // handle, so it is memory this cache pins.
-            CachedSnapshot::Weighted(s, w) => {
-                s.memory_bytes() + (w.len() * std::mem::size_of::<f64>()) as u64
-            }
-        }
-    }
-}
-
-#[derive(Debug)]
-struct CacheEntry {
-    snap: CachedSnapshot,
-    bytes: u64,
-    last_used: u64,
-}
-
-/// The engine's snapshot cache: one map for per-epoch, merged-range and
-/// weighted-by-topic snapshots, LRU-evicted against a byte budget.
-/// Plain `u64` counters — every access already holds the cache mutex.
-/// A `BTreeMap` rather than a `HashMap`: eviction scans the entries, and
-/// scan order must not depend on hasher seeds (`sns-lint`
-/// `determinism/hash-iteration`).
-#[derive(Debug)]
-struct SnapshotCache {
-    entries: BTreeMap<CacheKey, CacheEntry>,
-    /// Monotone access clock backing the LRU order.
-    clock: u64,
-    bytes: u64,
-    budget: u64,
-    stats: QueryStats,
-}
-
-impl SnapshotCache {
-    fn new(budget: u64) -> Self {
-        SnapshotCache {
-            entries: BTreeMap::new(),
-            clock: 0,
-            bytes: 0,
-            budget,
-            stats: QueryStats::default(),
-        }
-    }
-
-    /// Looks `key` up and refreshes its LRU stamp. Does not touch the
-    /// hit/miss counters — the query-level callers decide what counts.
-    fn get(&mut self, key: &CacheKey) -> Option<CachedSnapshot> {
-        self.clock += 1;
-        let clock = self.clock;
-        self.entries.get_mut(key).map(|e| {
-            e.last_used = clock;
-            e.snap.clone()
-        })
-    }
-
-    /// Inserts (or replaces) `key`, then evicts least-recently-used
-    /// entries until the budget holds again. The entry just inserted is
-    /// never evicted — a cache too small for one snapshot still serves
-    /// it to its own query.
-    fn insert(&mut self, key: CacheKey, snap: CachedSnapshot) {
-        self.clock += 1;
-        let bytes = snap.bytes();
-        let entry = CacheEntry { snap, bytes, last_used: self.clock };
-        if let Some(old) = self.entries.insert(key, entry) {
-            self.bytes -= old.bytes;
-        }
-        self.bytes += bytes;
-        // `len > 1` guarantees a non-inserted entry exists, but the
-        // serving path must not panic on a broken invariant — a `None`
-        // here (impossible today) just stops evicting, leaving the cache
-        // over budget until the next insert.
-        while self.bytes > self.budget && self.entries.len() > 1 {
-            let victim = self
-                .entries
-                .iter()
-                .filter(|(k, _)| **k != key)
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| *k);
-            let Some(evicted) = victim.and_then(|v| self.entries.remove(&v)) else { break };
-            self.bytes -= evicted.bytes;
-            self.stats.evictions += 1;
-        }
-        self.stats.cached_bytes = self.bytes;
-    }
-
-    fn snapshot_stats(&self) -> QueryStats {
-        QueryStats { cached_bytes: self.bytes, budget_bytes: self.budget, ..self.stats }
-    }
-}
-
 /// Default snapshot-cache budget: plenty for tens of frozen ranges on
 /// million-node pools, small next to the pool arena itself.
 const DEFAULT_CACHE_BUDGET: u64 = 128 << 20;
@@ -376,30 +268,41 @@ fn collect_answers(slots: Vec<OnceLock<SeedAnswer>>) -> Result<Vec<SeedAnswer>, 
     Ok(answers)
 }
 
-/// A sealed RR-set pool plus an epoch-incremental snapshot cache,
-/// serving [`SeedQuery`] batches (see the module docs).
-#[derive(Debug)]
-pub struct SeedQueryEngine {
-    pool: RrCollection,
-    gamma: f64,
-    threads: usize,
-    /// Next sample index of the deterministic stream —
-    /// [`SeedQueryEngine::extend`] continues where
-    /// [`SeedQueryEngine::sample`] stopped, so a grown engine's pool is
-    /// bit-identical to sampling the final size in one shot.
-    next_sample_index: u64,
-    /// Per-epoch, merged-range and weighted-by-topic snapshots with LRU
-    /// eviction (see the module docs). Snapshot contents are a pure
-    /// function of the sealed pool slice (and weights), so a racing
-    /// double-build is harmless — both instances are identical and
-    /// either may be cached.
-    cache: Mutex<SnapshotCache>,
+thread_local! {
     /// Selection scratch reused by [`SeedQueryEngine::answer`] — its
     /// stamp/gain tables stay at high-water size instead of costing an
     /// `O(n + range)` allocation-plus-zeroing per single query, which
     /// would rival the very histogram work the snapshot path saves.
-    /// (`answer_batch` workers carry their own, uncontended.)
-    answer_scratch: Mutex<GreedyScratch>,
+    /// Thread-local rather than engine-owned so the single-query path
+    /// acquires no mutex. (`answer_batch` workers carry their own,
+    /// uncontended.)
+    static ANSWER_SCRATCH: RefCell<GreedyScratch> = RefCell::new(GreedyScratch::new());
+}
+
+/// A directory of sealed RR-set pool generations plus an
+/// epoch-incremental snapshot cache, serving [`SeedQuery`] batches while
+/// a [`Grower`] publishes new generations (see the module docs).
+#[derive(Debug)]
+pub struct SeedQueryEngine {
+    /// The pool directory: one immutable, fully sealed [`RrCollection`]
+    /// per published generation. Queries pin the current generation with
+    /// one atomic load; the [`Grower`] publishes new generations through
+    /// the writer handle in [`SeedQueryEngine::writer`]. The directory
+    /// never outlives the writer (both live here), which is the
+    /// [`EpochDirectory`] liveness contract.
+    pub(crate) directory: Arc<EpochDirectory<RrCollection>>,
+    /// Per-epoch, merged-range and weighted-by-topic snapshots with LRU
+    /// eviction — lock-free lookups, copy-on-write inserts (see
+    /// [`SnapshotCache`]). Snapshot contents are a pure function of the
+    /// sealed pool slice (and weights), so a racing double-build is
+    /// harmless — both instances are identical and either may be cached.
+    pub(crate) cache: SnapshotCache,
+    gamma: f64,
+    pub(crate) threads: usize,
+    /// The writer-side state ([`GrowerState`]): the directory publish
+    /// handle plus the deterministic sample cursor, serialized behind
+    /// the engine's only growth lock. No query path touches it.
+    pub(crate) writer: Mutex<GrowerState>,
     /// Sampling identity of the pool, set by the constructors that know
     /// it ([`SeedQueryEngine::sample`], [`SeedQueryEngine::from_store`])
     /// and required by [`SeedQueryEngine::save`]. `None` for
@@ -409,29 +312,22 @@ pub struct SeedQueryEngine {
 }
 
 impl SeedQueryEngine {
-    /// Freezes `pool` (sealing its pending index tier) for serving.
-    /// `gamma` is the universe mass behind influence estimates (`n` for
-    /// uniform-root pools, `Σ b(v)` if the pool itself was WRIS-sampled).
+    /// Freezes `pool` (sealing its pending index tier) for serving as
+    /// directory generation 0. `gamma` is the universe mass behind
+    /// influence estimates (`n` for uniform-root pools, `Σ b(v)` if the
+    /// pool itself was WRIS-sampled).
     pub fn from_pool(mut pool: RrCollection, gamma: f64) -> Self {
-        pool.seal();
+        let _ = pool.seal();
         let next_sample_index = pool.len() as u64;
+        let (directory, dir_writer) = EpochDirectory::new(Arc::new(pool));
         SeedQueryEngine {
-            pool,
+            directory,
+            cache: SnapshotCache::new(DEFAULT_CACHE_BUDGET),
             gamma,
             threads: 1,
-            next_sample_index,
-            cache: Mutex::new(SnapshotCache::new(DEFAULT_CACHE_BUDGET)),
-            answer_scratch: Mutex::new(GreedyScratch::new()),
+            writer: Mutex::new(GrowerState { dir_writer, next_sample_index }),
             fingerprint: None,
         }
-    }
-
-    /// Locks the snapshot cache, recovering from poisoning: cache
-    /// contents are pure functions of the frozen pool (at worst a
-    /// half-inserted entry costs a rebuild), so a worker that panicked
-    /// while holding the lock must not wedge every subsequent query.
-    fn lock_cache(&self) -> MutexGuard<'_, SnapshotCache> {
-        self.cache.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Samples a fresh `count`-set pool from `ctx` (stream 0, the same
@@ -462,13 +358,21 @@ impl SeedQueryEngine {
             RootDist::Weighted(_) => "weighted",
             RootDist::Benefit(_) => "benefit",
         };
+        let mut meta = vec![("roots".to_string(), roots.to_string())];
+        // Content checksum of the weight/benefit vector: Γ alone cannot
+        // distinguish two vectors with equal mass, so a persisted
+        // weighted pool must refuse to reload under a permuted vector
+        // loudly instead of silently mis-serving.
+        if let Some(ck) = ctx.roots_checksum() {
+            meta.push(("roots_checksum".to_string(), format!("{ck:#018x}")));
+        }
         StoreFingerprint {
             graph_hash: ctx.graph().content_hash(),
             num_nodes: ctx.graph().num_nodes(),
             model: ctx.model().short_name().to_string(),
             rng_seed: ctx.seed(),
             gamma: ctx.gamma(),
-            meta: vec![("roots".to_string(), roots.to_string())],
+            meta,
         }
     }
 
@@ -514,7 +418,7 @@ impl SeedQueryEngine {
                     .into(),
             )
         })?;
-        Ok(PoolStore::at(dir.as_ref()).save(&self.pool, fingerprint)?)
+        Ok(PoolStore::at(dir.as_ref()).save(&self.pool(), fingerprint)?)
     }
 
     /// Loads a pool saved by [`SeedQueryEngine::save`] and freezes it for
@@ -570,41 +474,61 @@ impl SeedQueryEngine {
     /// budget trades latency for memory, never correctness. Answers do
     /// not depend on it.
     pub fn with_cache_budget(self, bytes: u64) -> Self {
-        self.lock_cache().budget = bytes;
+        self.cache.set_budget(bytes);
         self
     }
 
-    /// Grows the frozen pool while serving: samples `additional` sets
+    /// Grows the pool while serving: samples `additional` sets
     /// (continuing the deterministic stream, so the result is
-    /// bit-identical to having sampled the final size up front) and
-    /// seals them as **one new epoch**. Nothing cached is invalidated —
-    /// epoch boundaries are append-only, so every previously frozen
-    /// snapshot keeps serving its range, and the next query spanning the
-    /// new sets freezes just the new epoch and merges it with the old
-    /// ones ([`GainSnapshot::merge`]). This is the serving side of the
-    /// SSA/D-SSA doubling schedule: the pool keeps extending, queries
-    /// keep answering, and snapshot work stays proportional to the
-    /// *growth*, not the pool.
-    pub fn extend(&mut self, ctx: &SamplingContext<'_>, additional: u64) {
-        let from = self.next_sample_index;
-        if self.threads > 1 {
-            self.pool.extend_parallel(&ctx.sampler(0), from, additional, self.threads);
-        } else {
-            let mut sampler = ctx.sampler(0);
-            self.pool.extend_sequential(&mut sampler, from, additional);
-        }
-        self.pool.seal_parallel(self.threads);
-        self.next_sample_index += additional;
+    /// bit-identical to having sampled the final size up front), seals
+    /// them as **one new epoch**, and publishes the grown pool as the
+    /// next directory generation. Nothing cached is invalidated — epoch
+    /// boundaries are append-only, so every previously frozen snapshot
+    /// keeps serving its range, and the new epoch's snapshot is frozen
+    /// at publish time. This is the serving side of the SSA/D-SSA
+    /// doubling schedule: the pool keeps extending, queries keep
+    /// answering, and snapshot work stays proportional to the *growth*,
+    /// not the pool.
+    ///
+    /// Convenience for [`SeedQueryEngine::grower`]'s
+    /// [`Grower::extend`], which needs only `&self` — use the grower
+    /// directly to grow a shared engine while other threads answer.
+    pub fn extend(&mut self, ctx: &SamplingContext<'_>, additional: u64) -> GrowthOutcome {
+        self.grower().extend(ctx, additional)
+    }
+
+    /// The single-writer growth handle (see [`Grower`]). Needs only
+    /// `&self`: one thread can grow while others answer from the same
+    /// shared engine. Concurrent growers serialize on the writer mutex.
+    pub fn grower(&self) -> Grower<'_> {
+        Grower::new(self)
+    }
+
+    /// The currently published directory generation (0 after
+    /// construction, bumped by every epoch-publishing
+    /// [`Grower::extend`]).
+    pub fn generation(&self) -> u64 {
+        self.directory.generation()
+    }
+
+    /// The engine's pool directory — pin generations directly when a
+    /// caller needs to hold several pool versions at once (tests, audit
+    /// tooling); queries pin internally.
+    pub fn directory(&self) -> &Arc<EpochDirectory<RrCollection>> {
+        &self.directory
     }
 
     /// The engine's cumulative cache/query counters.
     pub fn stats(&self) -> QueryStats {
-        self.lock_cache().snapshot_stats()
+        self.cache.stats()
     }
 
-    /// The frozen pool.
-    pub fn pool(&self) -> &RrCollection {
-        &self.pool
+    /// The currently published pool generation, pinned: the returned
+    /// `Arc` stays valid (and bit-identical) forever, even across
+    /// concurrent growth — later generations are new pools, not
+    /// mutations of this one.
+    pub fn pool(&self) -> Arc<RrCollection> {
+        self.directory.pin().1
     }
 
     /// The universe mass Γ behind influence estimates.
@@ -612,17 +536,24 @@ impl SeedQueryEngine {
         self.gamma
     }
 
-    /// Answers one query, reusing the engine's cached selection scratch
-    /// (serialized behind a lock — concurrent callers should use
-    /// [`SeedQueryEngine::answer_batch`], whose workers scratch
-    /// independently). Per-range gain snapshots are cached either way.
+    /// Answers one query against the currently published pool
+    /// generation (pinned with one atomic load — no locks on this
+    /// path), reusing a thread-local selection scratch. Per-range gain
+    /// snapshots are cached either way.
     pub fn answer(&self, query: &SeedQuery) -> Result<SeedAnswer, CoreError> {
-        self.validate(query)?;
-        // Scratch state is generation-stamped and fully re-initialized per
-        // selection, so a poisoned lock (a panic mid-answer) is recovered,
-        // not propagated.
-        let mut scratch = self.answer_scratch.lock().unwrap_or_else(PoisonError::into_inner);
-        Ok(self.answer_validated(query, &mut scratch))
+        let (_, pool) = self.directory.pin();
+        self.validate(query, &pool)?;
+        ANSWER_SCRATCH.with(|cell| {
+            // Scratch state is generation-stamped and fully
+            // re-initialized per selection; a re-entrant borrow (answer
+            // called from within answer — impossible today) falls back
+            // to a fresh scratch rather than panicking on a serving
+            // path.
+            match cell.try_borrow_mut() {
+                Ok(mut scratch) => Ok(self.answer_validated(query, &pool, &mut scratch)),
+                Err(_) => Ok(self.answer_validated(query, &pool, &mut GreedyScratch::new())),
+            }
+        })
     }
 
     /// Answers a batch of heterogeneous queries, thread-parallel across
@@ -636,16 +567,26 @@ impl SeedQueryEngine {
         if queries.is_empty() {
             return Ok(Vec::new());
         }
+        // One pin for the whole batch: every member is validated and
+        // answered against the same pool generation, so a batch racing
+        // concurrent growth is equivalent to running entirely before or
+        // entirely after the publish.
+        let (_, pool) = self.directory.pin();
         for (i, q) in queries.iter().enumerate() {
-            self.validate(q).map_err(|e| CoreError::InvalidParams(format!("query {i}: {e}")))?;
+            self.validate(q, &pool)
+                .map_err(|e| CoreError::InvalidParams(format!("query {i}: {e}")))?;
         }
         let workers = self.threads.min(queries.len()).max(1);
         if workers == 1 {
             let mut scratch = GreedyScratch::new();
-            return Ok(queries.iter().map(|q| self.answer_validated(q, &mut scratch)).collect());
+            return Ok(queries
+                .iter()
+                .map(|q| self.answer_validated(q, &pool, &mut scratch))
+                .collect());
         }
         let next = AtomicUsize::new(0);
         let slots: Vec<OnceLock<SeedAnswer>> = queries.iter().map(|_| OnceLock::new()).collect();
+        let pool = &pool;
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| {
@@ -653,7 +594,7 @@ impl SeedQueryEngine {
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(query) = queries.get(i) else { break };
-                        let answer = self.answer_validated(query, &mut scratch);
+                        let answer = self.answer_validated(query, pool, &mut scratch);
                         // `fetch_add` hands each index to exactly one
                         // worker; a double set is impossible, and answers
                         // are deterministic so it would be value-identical
@@ -684,26 +625,27 @@ impl SeedQueryEngine {
         if queries.is_empty() {
             return Ok(Vec::new());
         }
+        // One pin for the whole batch (see `answer_batch`); the plan is
+        // stamped with the pinned generation, making "which pool prefix
+        // answered this batch" auditable.
+        let (generation, pool) = self.directory.pin();
         for (i, q) in queries.iter().enumerate() {
-            self.validate(q).map_err(|e| CoreError::InvalidParams(format!("query {i}: {e}")))?;
+            self.validate(q, &pool)
+                .map_err(|e| CoreError::InvalidParams(format!("query {i}: {e}")))?;
         }
-        let plan = BatchPlan::build(queries, self.pool.id_range().end);
-        {
-            let mut cache = self.lock_cache();
-            cache.stats.planned_batches += 1;
-            cache.stats.planner_groups += plan.num_groups() as u64;
-            cache.stats.planner_builds_saved += plan.builds_saved();
-        }
+        let plan = BatchPlan::build_for_generation(queries, pool.id_range().end, generation);
+        self.cache.note_planned(plan.num_groups() as u64, plan.builds_saved());
         let groups = plan.groups();
         let slots: Vec<OnceLock<SeedAnswer>> = queries.iter().map(|_| OnceLock::new()).collect();
         let workers = self.threads.min(groups.len()).max(1);
         if workers == 1 {
             let mut scratch = GreedyScratch::new();
             for group in groups {
-                self.answer_group(queries, group, &mut scratch, &slots);
+                self.answer_group(queries, group, &pool, &mut scratch, &slots);
             }
         } else {
             let next = AtomicUsize::new(0);
+            let pool = &pool;
             std::thread::scope(|scope| {
                 for _ in 0..workers {
                     scope.spawn(|| {
@@ -711,7 +653,7 @@ impl SeedQueryEngine {
                         loop {
                             let g = next.fetch_add(1, Ordering::Relaxed);
                             let Some(group) = groups.get(g) else { break };
-                            self.answer_group(queries, group, &mut scratch, &slots);
+                            self.answer_group(queries, group, pool, &mut scratch, &slots);
                         }
                     });
                 }
@@ -729,6 +671,7 @@ impl SeedQueryEngine {
         &self,
         queries: &[SeedQuery],
         group: &PlanGroup,
+        pool: &RrCollection,
         scratch: &mut GreedyScratch,
         slots: &[OnceLock<SeedAnswer>],
     ) {
@@ -747,16 +690,15 @@ impl SeedQueryEngine {
         match group.key {
             GroupKey::Plain { start, end } => {
                 let range = start..end;
-                let snapshot = self.snapshot_for(&range);
+                let snapshot = self.snapshot_for(pool, &range);
                 // Budgeted queries are unweighted and group here too —
                 // same snapshot identity, different selection loop.
                 for &i in &group.members {
                     let Some(query) = queries.get(i) else { continue };
                     let answer = match query.budget {
-                        Some(budget) => {
-                            self.answer_budgeted_with(query, budget, &range, &snapshot, scratch)
-                        }
-                        None => self.answer_plain_with(query, &range, &snapshot, scratch),
+                        Some(budget) => self
+                            .answer_budgeted_with(query, budget, pool, &range, &snapshot, scratch),
+                        None => self.answer_plain_with(query, pool, &range, &snapshot, scratch),
                     };
                     set(i, answer);
                 }
@@ -775,11 +717,11 @@ impl SeedQueryEngine {
                 let Some(shared) = shared else {
                     for &i in &group.members {
                         let Some(query) = queries.get(i) else { continue };
-                        set(i, self.answer_validated(query, scratch));
+                        set(i, self.answer_validated(query, pool, scratch));
                     }
                     return;
                 };
-                let snapshot = self.weighted_snapshot_for(&range, topic, shared);
+                let snapshot = self.weighted_snapshot_for(pool, &range, topic, shared);
                 for &i in &group.members {
                     let Some(query) = queries.get(i) else { continue };
                     let same_arc =
@@ -787,34 +729,36 @@ impl SeedQueryEngine {
                     if same_arc {
                         set(
                             i,
-                            self.answer_weighted_with(query, &range, &snapshot, shared, scratch),
+                            self.answer_weighted_with(
+                                query, pool, &range, &snapshot, shared, scratch,
+                            ),
                         );
                     } else {
-                        set(i, self.answer_validated(query, scratch));
+                        set(i, self.answer_validated(query, pool, scratch));
                     }
                 }
             }
             GroupKey::Solo { .. } => {
                 for &i in &group.members {
                     let Some(query) = queries.get(i) else { continue };
-                    set(i, self.answer_validated(query, scratch));
+                    set(i, self.answer_validated(query, pool, scratch));
                 }
             }
         }
     }
 
-    fn validate(&self, query: &SeedQuery) -> Result<(), CoreError> {
+    /// Validates `query` against one pinned pool generation — the same
+    /// generation the caller will answer from, so bounds cannot shift
+    /// between validation and selection under concurrent growth.
+    fn validate(&self, query: &SeedQuery, pool: &RrCollection) -> Result<(), CoreError> {
         let err = |msg: String| Err(CoreError::InvalidParams(msg));
-        let n = self.pool.num_nodes();
+        let n = pool.num_nodes();
         if query.k == 0 && query.budget.is_none() {
             return err("k must be >= 1".into());
         }
         if let Some(r) = &query.range {
-            if r.start > r.end || r.end as usize > self.pool.len() {
-                return err(format!(
-                    "range {r:?} out of bounds for a pool of {} sets",
-                    self.pool.len()
-                ));
+            if r.start > r.end || r.end as usize > pool.len() {
+                return err(format!("range {r:?} out of bounds for a pool of {} sets", pool.len()));
             }
         }
         if let Some(budget) = query.budget {
@@ -888,27 +832,32 @@ impl SeedQueryEngine {
     /// Answers a pre-validated query. Infallible and side-effect-free
     /// modulo the snapshot cache — the invariant the parallel batch path
     /// relies on.
-    fn answer_validated(&self, query: &SeedQuery, scratch: &mut GreedyScratch) -> SeedAnswer {
-        let range = query.range.clone().unwrap_or_else(|| self.pool.id_range());
+    fn answer_validated(
+        &self,
+        query: &SeedQuery,
+        pool: &RrCollection,
+        scratch: &mut GreedyScratch,
+    ) -> SeedAnswer {
+        let range = query.range.clone().unwrap_or_else(|| pool.id_range());
         if let Some(budget) = query.budget {
             // Budgeted queries are unweighted, so they share the plain
             // snapshot cache — one frozen snapshot serves every
             // (budget, costs) pair over the range.
-            let snapshot = self.snapshot_for(&range);
-            return self.answer_budgeted_with(query, budget, &range, &snapshot, scratch);
+            let snapshot = self.snapshot_for(pool, &range);
+            return self.answer_budgeted_with(query, budget, pool, &range, &snapshot, scratch);
         }
         match (&query.root_weights, query.topic) {
             (Some(weights), Some(topic)) => {
                 // Repeated-topic fast path: frozen weighted gains
                 // + frozen offsets, zero per-query init passes.
-                let snapshot = self.weighted_snapshot_for(&range, topic, weights);
-                self.answer_weighted_with(query, &range, &snapshot, weights, scratch)
+                let snapshot = self.weighted_snapshot_for(pool, &range, topic, weights);
+                self.answer_weighted_with(query, pool, &range, &snapshot, weights, scratch)
             }
             (Some(weights), None) => {
                 let len = (range.end - range.start) as u64;
                 let constraints =
                     SeedConstraints { forced: &query.forced, excluded: &query.excluded };
-                let r = CoverageView::build(&self.pool, range.clone()).select_weighted(
+                let r = CoverageView::build(pool, range.clone()).select_weighted(
                     query.k,
                     weights,
                     &constraints,
@@ -925,8 +874,8 @@ impl SeedQueryEngine {
                 }
             }
             (None, _) => {
-                let snapshot = self.snapshot_for(&range);
-                self.answer_plain_with(query, &range, &snapshot, scratch)
+                let snapshot = self.snapshot_for(pool, &range);
+                self.answer_plain_with(query, pool, &range, &snapshot, scratch)
             }
         }
     }
@@ -939,13 +888,14 @@ impl SeedQueryEngine {
     fn answer_plain_with(
         &self,
         query: &SeedQuery,
+        pool: &RrCollection,
         range: &Range<u32>,
         snapshot: &GainSnapshot,
         scratch: &mut GreedyScratch,
     ) -> SeedAnswer {
         let len = (range.end - range.start) as u64;
         let constraints = SeedConstraints { forced: &query.forced, excluded: &query.excluded };
-        let r = snapshot.view(&self.pool).select_from_snapshot_constrained(
+        let r = snapshot.view(pool).select_from_snapshot_constrained(
             snapshot,
             query.k,
             &constraints,
@@ -971,13 +921,14 @@ impl SeedQueryEngine {
         &self,
         query: &SeedQuery,
         budget: f64,
+        pool: &RrCollection,
         range: &Range<u32>,
         snapshot: &GainSnapshot,
         scratch: &mut GreedyScratch,
     ) -> SeedAnswer {
         let len = (range.end - range.start) as u64;
         let constraints = SeedConstraints { forced: &query.forced, excluded: &query.excluded };
-        let r = snapshot.view(&self.pool).select_budgeted_from_snapshot(
+        let r = snapshot.view(pool).select_budgeted_from_snapshot(
             snapshot,
             budget,
             &query.costs,
@@ -1001,6 +952,7 @@ impl SeedQueryEngine {
     fn answer_weighted_with(
         &self,
         query: &SeedQuery,
+        pool: &RrCollection,
         range: &Range<u32>,
         snapshot: &WeightedGainSnapshot,
         weights: &Arc<[f64]>,
@@ -1008,7 +960,7 @@ impl SeedQueryEngine {
     ) -> SeedAnswer {
         let len = (range.end - range.start) as u64;
         let constraints = SeedConstraints { forced: &query.forced, excluded: &query.excluded };
-        let r = snapshot.view(&self.pool).select_weighted_from_snapshot(
+        let r = snapshot.view(pool).select_weighted_from_snapshot(
             snapshot,
             query.k,
             weights,
@@ -1025,22 +977,25 @@ impl SeedQueryEngine {
         }
     }
 
-    /// The sealed-epoch signature of a range end: how many epoch
-    /// boundaries lie at or below it. Part of the plain cache key (see
-    /// [`CacheKey`]).
-    fn epoch_signature(&self, end: u32) -> u32 {
-        self.pool.epoch_boundaries().partition_point(|&b| b <= end) as u32
+    /// The sealed-epoch signature of a range end in `pool`: how many
+    /// epoch boundaries lie at or below it. Part of the plain cache key
+    /// (see [`CacheKey`]). Boundaries are append-only across
+    /// generations, so for any `end` within an older generation the
+    /// signature agrees across every generation containing it — which is
+    /// why cache entries are shared across generations.
+    fn epoch_signature(pool: &RrCollection, end: u32) -> u32 {
+        pool.epoch_boundaries().partition_point(|&b| b <= end) as u32
     }
 
     /// Decomposes `range` against the sealed epoch boundaries into
     /// maximal segments: `(segment, is_full_epoch)`. Full epochs freeze
     /// reusable snapshots; partial head/tail segments (unaligned starts,
     /// pending sets past the last boundary) are built per merge.
-    fn epoch_segments(&self, range: &Range<u32>) -> Vec<(Range<u32>, bool)> {
+    fn epoch_segments(pool: &RrCollection, range: &Range<u32>) -> Vec<(Range<u32>, bool)> {
         let mut segments = Vec::new();
         let mut pos = range.start;
         let mut epoch_start = 0u32;
-        for &bound in self.pool.epoch_boundaries() {
+        for &bound in pool.epoch_boundaries() {
             let epoch = epoch_start..bound;
             epoch_start = bound;
             if epoch.end <= pos {
@@ -1067,66 +1022,76 @@ impl SeedQueryEngine {
     /// per-epoch snapshots (frozen once each, themselves cached) for
     /// ranges spanning several epochs. Counts one query-level hit or
     /// miss per call.
-    fn snapshot_for(&self, range: &Range<u32>) -> Arc<GainSnapshot> {
+    fn snapshot_for(&self, pool: &RrCollection, range: &Range<u32>) -> Arc<GainSnapshot> {
         let key = CacheKey::Plain {
             start: range.start,
             end: range.end,
-            epochs: self.epoch_signature(range.end),
+            epochs: Self::epoch_signature(pool, range.end),
         };
-        {
-            let mut cache = self.lock_cache();
-            if let Some(CachedSnapshot::Plain(snap)) = cache.get(&key) {
-                cache.stats.snapshot_hits += 1;
-                return snap;
-            }
-            cache.stats.snapshot_misses += 1;
+        if let Some(CachedSnapshot::Plain(snap)) = self.cache.get(&key) {
+            self.cache.note_snapshot_hit();
+            return snap;
         }
-        // Built outside the lock: O(entries) histogram/merge work must
-        // not serialize the whole batch behind one slow range.
-        let segments = self.epoch_segments(range);
+        self.cache.note_snapshot_miss();
+        let segments = Self::epoch_segments(pool, range);
         let built = if segments.iter().filter(|(_, full)| *full).count() == 0 || segments.len() <= 1
         {
             // No reusable epoch inside (or the range *is* one epoch):
             // build in one pass.
-            Arc::new(GainSnapshot::build(&CoverageView::build(&self.pool, range.clone())))
+            Arc::new(GainSnapshot::build(&CoverageView::build(pool, range.clone())))
         } else {
             let parts: Vec<Arc<GainSnapshot>> = segments
                 .iter()
                 .map(|(seg, full)| {
                     if *full {
-                        self.epoch_snapshot(seg)
+                        self.epoch_snapshot(pool, seg)
                     } else {
-                        Arc::new(GainSnapshot::build(&CoverageView::build(&self.pool, seg.clone())))
+                        Arc::new(GainSnapshot::build(&CoverageView::build(pool, seg.clone())))
                     }
                 })
                 .collect();
             let refs: Vec<&GainSnapshot> = parts.iter().map(Arc::as_ref).collect();
             let merged = Arc::new(GainSnapshot::merge(&refs));
-            self.lock_cache().stats.merges += 1;
+            self.cache.note_merge();
             merged
         };
-        let mut cache = self.lock_cache();
-        cache.insert(key, CachedSnapshot::Plain(Arc::clone(&built)));
+        self.cache.insert(key, CachedSnapshot::Plain(Arc::clone(&built)));
         built
     }
 
     /// The frozen snapshot of one full epoch, from cache or built (and
     /// cached) now. Epoch lookups refresh LRU order but do not count as
     /// query-level hits/misses; builds count into `epochs_frozen`.
-    fn epoch_snapshot(&self, epoch: &Range<u32>) -> Arc<GainSnapshot> {
+    fn epoch_snapshot(&self, pool: &RrCollection, epoch: &Range<u32>) -> Arc<GainSnapshot> {
         let key = CacheKey::Plain {
             start: epoch.start,
             end: epoch.end,
-            epochs: self.epoch_signature(epoch.end),
+            epochs: Self::epoch_signature(pool, epoch.end),
         };
-        if let Some(CachedSnapshot::Plain(snap)) = self.lock_cache().get(&key) {
+        if let Some(CachedSnapshot::Plain(snap)) = self.cache.get(&key) {
             return snap;
         }
-        let built = Arc::new(GainSnapshot::build(&CoverageView::build(&self.pool, epoch.clone())));
-        let mut cache = self.lock_cache();
-        cache.stats.epochs_frozen += 1;
-        cache.insert(key, CachedSnapshot::Plain(Arc::clone(&built)));
+        let built = Arc::new(GainSnapshot::build(&CoverageView::build(pool, epoch.clone())));
+        self.cache.note_epoch_frozen();
+        self.cache.insert(key, CachedSnapshot::Plain(Arc::clone(&built)));
         built
+    }
+
+    /// Freezes one just-sealed epoch's snapshot into the cache —
+    /// [`Grower::extend`]'s publish-time pre-freeze, so the first query
+    /// against a grown pool finds the new epoch already cached instead
+    /// of paying a build on the serving path. Each epoch is sealed
+    /// exactly once, so this builds unconditionally (counting into
+    /// `epochs_frozen` like any epoch build).
+    pub(crate) fn freeze_epoch(&self, pool: &RrCollection, epoch: &Range<u32>) {
+        let key = CacheKey::Plain {
+            start: epoch.start,
+            end: epoch.end,
+            epochs: Self::epoch_signature(pool, epoch.end),
+        };
+        let built = Arc::new(GainSnapshot::build(&CoverageView::build(pool, epoch.clone())));
+        self.cache.note_epoch_frozen();
+        self.cache.insert(key, CachedSnapshot::Plain(built));
     }
 
     /// The frozen weighted snapshot for `(range, topic)`, verified
@@ -1135,27 +1100,24 @@ impl SeedQueryEngine {
     /// wrong answer. Counts one weighted hit or miss per call.
     fn weighted_snapshot_for(
         &self,
+        pool: &RrCollection,
         range: &Range<u32>,
         topic: u64,
         weights: &Arc<[f64]>,
     ) -> Arc<WeightedGainSnapshot> {
         let key = CacheKey::Weighted { start: range.start, end: range.end, topic };
-        {
-            let mut cache = self.lock_cache();
-            if let Some(CachedSnapshot::Weighted(snap, cached_weights)) = cache.get(&key) {
-                if Arc::ptr_eq(&cached_weights, weights) {
-                    cache.stats.weighted_hits += 1;
-                    return snap;
-                }
+        if let Some(CachedSnapshot::Weighted(snap, cached_weights)) = self.cache.get(&key) {
+            if Arc::ptr_eq(&cached_weights, weights) {
+                self.cache.note_weighted_hit();
+                return snap;
             }
-            cache.stats.weighted_misses += 1;
         }
+        self.cache.note_weighted_miss();
         let built = Arc::new(WeightedGainSnapshot::build(
-            &CoverageView::build(&self.pool, range.clone()),
+            &CoverageView::build(pool, range.clone()),
             weights,
         ));
-        let mut cache = self.lock_cache();
-        cache.insert(key, CachedSnapshot::Weighted(Arc::clone(&built), Arc::clone(weights)));
+        self.cache.insert(key, CachedSnapshot::Weighted(Arc::clone(&built), Arc::clone(weights)));
         built
     }
 }
@@ -1179,13 +1141,13 @@ mod tests {
         let e = engine(2000, 1);
         for k in [1usize, 5, 20] {
             let ans = e.answer(&SeedQuery::top_k(k)).unwrap();
-            let direct = max_coverage_range(e.pool(), k, 0..2000);
+            let direct = max_coverage_range(&e.pool(), k, 0..2000);
             assert_eq!(ans.seeds, direct.seeds, "k = {k}");
             assert_eq!(ans.covered, direct.covered as f64);
         }
         // ranged query against the matching direct call
         let ans = e.answer(&SeedQuery::top_k(4).over_range(500..1500)).unwrap();
-        let direct = max_coverage_range(e.pool(), 4, 500..1500);
+        let direct = max_coverage_range(&e.pool(), 4, 500..1500);
         assert_eq!(ans.seeds, direct.seeds);
         assert_eq!(ans.range, 500..1500);
     }
@@ -1416,7 +1378,8 @@ mod tests {
         for budget in [0.5, 4.0, 12.5] {
             let q = SeedQuery::budgeted(budget).with_costs(NodeCosts::per_node(costs.clone()));
             let ans = e.answer(&q).unwrap();
-            let view = CoverageView::build(e.pool(), 0..2000);
+            let pool = e.pool();
+            let view = CoverageView::build(&pool, 0..2000);
             let mut scratch = GreedyScratch::new();
             let direct =
                 view.select_budgeted(budget, &q.costs, &SeedConstraints::none(), &mut scratch);
@@ -1434,7 +1397,8 @@ mod tests {
             .with_costs(NodeCosts::per_node(costs.clone()))
             .over_range(500..1500);
         let ans = e.answer(&q).unwrap();
-        let view = CoverageView::build(e.pool(), 500..1500);
+        let pool = e.pool();
+        let view = CoverageView::build(&pool, 500..1500);
         let direct = view.select_budgeted(
             6.0,
             &q.costs,
@@ -1508,29 +1472,102 @@ mod tests {
 
     #[test]
     fn poisoned_mutexes_do_not_wedge_the_engine() {
-        let e = engine(600, 9);
+        let g = gen::erdos_renyi(300, 1800, 9).build(WeightModel::WeightedCascade).unwrap();
+        let ctx = SamplingContext::new(&g, Model::IndependentCascade).with_seed(9);
+        let e = SeedQueryEngine::sample(&ctx, 600);
         let baseline = e.answer(&SeedQuery::top_k(3)).unwrap();
-        // Poison both internal mutexes the way a crashed worker would:
-        // panic while holding the lock.
-        let crash = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let _guard = e.cache.lock().unwrap();
-            panic!("worker dies holding the cache lock");
-        }));
-        assert!(crash.is_err());
-        let crash = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let _guard = e.answer_scratch.lock().unwrap();
-            panic!("worker dies holding the scratch lock");
-        }));
-        assert!(crash.is_err());
-        assert!(e.cache.is_poisoned());
-        assert!(e.answer_scratch.is_poisoned());
-        // the engine still answers — bit-identically — and every other
-        // lock-crossing entry point stays usable
+        // Poison both writer-side mutexes the way a crashed worker
+        // would: panic while holding the lock.
+        fn poison<T>(m: &Mutex<T>) {
+            let crash = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _guard = m.lock().unwrap();
+                panic!("worker dies holding the lock");
+            }));
+            assert!(crash.is_err());
+            assert!(m.is_poisoned());
+        }
+        poison(&e.cache.writer);
+        poison(&e.writer);
+        // the engine still answers — bit-identically — and every
+        // mutex-crossing entry point stays usable
         assert_eq!(e.answer(&SeedQuery::top_k(3)).unwrap(), baseline);
         assert!(e.answer_batch(&[SeedQuery::top_k(2), SeedQuery::top_k(4)]).is_ok());
         let _ = e.stats();
-        let e = e.with_cache_budget(1 << 20);
+        let mut e = e.with_cache_budget(1 << 20);
         assert_eq!(e.answer(&SeedQuery::top_k(3)).unwrap(), baseline);
+        // growth recovers the poisoned writer mutex too: the directory
+        // and sample cursor were only mutated after fallible work
+        let grown = e.extend(&ctx, 100);
+        assert_eq!(grown.seal().epoch(), Some(600..700));
+        assert_eq!(grown.pool_len(), 700);
+        assert_eq!(e.generation(), 1);
+    }
+
+    #[test]
+    fn grower_reports_seal_outcome_and_generation() {
+        let g = gen::erdos_renyi(300, 1800, 40).build(WeightModel::WeightedCascade).unwrap();
+        let ctx = SamplingContext::new(&g, Model::IndependentCascade).with_seed(40);
+        let mut e = SeedQueryEngine::sample(&ctx, 500);
+        assert_eq!(e.generation(), 0);
+        let grown = e.extend(&ctx, 250);
+        assert_eq!(grown.generation(), 1);
+        assert_eq!(grown.seal().epoch(), Some(500..750));
+        assert_eq!(grown.pool_len(), 750);
+        assert_eq!(e.generation(), 1);
+        // nothing pending: no epoch sealed, no generation churn
+        let noop = e.extend(&ctx, 0);
+        assert_eq!(noop.seal().epoch(), None);
+        assert_eq!(noop.generation(), 1);
+        assert_eq!(noop.pool_len(), 750);
+        assert_eq!(e.generation(), 1);
+    }
+
+    #[test]
+    fn pinned_pools_survive_concurrent_growth() {
+        let g = gen::erdos_renyi(300, 1800, 41).build(WeightModel::WeightedCascade).unwrap();
+        let ctx = SamplingContext::new(&g, Model::IndependentCascade).with_seed(41);
+        let e = SeedQueryEngine::sample(&ctx, 1000);
+        let pool0 = e.pool();
+        let before = e.answer(&SeedQuery::top_k(4).over_range(0..1000)).unwrap();
+        // growth needs only &self: serving handles keep answering while
+        // the grower publishes the next generation
+        let grown = e.grower().extend(&ctx, 500);
+        assert_eq!(grown.generation(), 1);
+        assert_eq!(pool0.len(), 1000, "a pinned pool is immutable forever");
+        assert_eq!(e.pool().len(), 1500);
+        // the superseded generation stays reachable while pinned
+        assert_eq!(e.directory().pin_generation(0).map(|p| p.len()), Some(1000));
+        // and prefix answers are unchanged by the publish
+        assert_eq!(e.answer(&SeedQuery::top_k(4).over_range(0..1000)).unwrap(), before);
+    }
+
+    #[test]
+    fn store_refuses_a_permuted_benefit_vector() {
+        let g = gen::erdos_renyi(300, 1800, 42).build(WeightModel::WeightedCascade).unwrap();
+        let benefits: Vec<f64> = (0..300).map(|v| f64::from(v % 5 + 1)).collect();
+        let mut permuted = benefits.clone();
+        permuted.reverse();
+        let ctx = SamplingContext::new(&g, Model::IndependentCascade)
+            .with_seed(42)
+            .with_benefit_weighted_roots(&benefits)
+            .unwrap();
+        let e = SeedQueryEngine::sample(&ctx, 300);
+        let dir = temp_dir("permuted-benefits");
+        e.save(&dir).unwrap();
+        // same Γ (small-integer partial sums are exact in f64), same
+        // graph, model and seed — only the content checksum can tell
+        // the two vectors apart
+        let wrong = SamplingContext::new(&g, Model::IndependentCascade)
+            .with_seed(42)
+            .with_benefit_weighted_roots(&permuted)
+            .unwrap();
+        assert_eq!(ctx.gamma().to_bits(), wrong.gamma().to_bits());
+        let err = SeedQueryEngine::from_store(&dir, &wrong).unwrap_err();
+        assert!(matches!(err, CoreError::Store(_)));
+        assert!(err.to_string().contains("roots_checksum"), "{err}");
+        // the original vector still loads and serves
+        assert!(SeedQueryEngine::from_store(&dir, &ctx).is_ok());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -66,12 +66,14 @@
 pub mod bounds;
 pub mod planner;
 
+mod cache;
 mod context;
 mod dssa;
 mod engine;
 mod error;
 mod estimate_inf;
 mod framework;
+mod grower;
 mod params;
 mod result;
 mod ssa;
@@ -83,6 +85,7 @@ pub use engine::{QueryStats, SeedAnswer, SeedQuery, SeedQueryEngine};
 pub use error::CoreError;
 pub use estimate_inf::{estimate_inf, estimate_inf_with_sink, EstimateInfOutcome, EstimateScratch};
 pub use framework::{ris_fixed_pool, RisThresholds};
+pub use grower::{Grower, GrowthOutcome};
 pub use params::{Params, SsaEpsilons};
 pub use planner::{
     AdmissionQueue, AdmissionStats, BatchPlan, GroupKey, Pending, PlanGroup, Priority, RejectReason,
@@ -91,7 +94,12 @@ pub use result::RunResult;
 pub use ssa::Ssa;
 
 // Persistence layer behind [`SeedQueryEngine::save`] /
-// [`SeedQueryEngine::from_store`] and the cost model of budgeted
-// queries ([`SeedQuery::with_costs`]), re-exported so engine callers
-// don't need a direct `sns_rrset` dependency to handle its outcomes.
-pub use sns_rrset::{NodeCosts, PoolStore, Recovery, SaveStats, StoreError, StoreFingerprint};
+// [`SeedQueryEngine::from_store`], the cost model of budgeted queries
+// ([`SeedQuery::with_costs`]), and the grow-while-serving primitives
+// ([`SeedQueryEngine::grower`], [`SeedQueryEngine::directory`]),
+// re-exported so engine callers don't need a direct `sns_rrset`
+// dependency to handle their outcomes.
+pub use sns_rrset::{
+    EpochDirectory, NodeCosts, PoolStore, Recovery, SaveStats, SealOutcome, StoreError,
+    StoreFingerprint,
+};

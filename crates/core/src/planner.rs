@@ -93,6 +93,12 @@ pub struct PlanGroup {
 pub struct BatchPlan {
     groups: Vec<PlanGroup>,
     queries: usize,
+    pool_len: u32,
+    /// The pool directory generation this plan was built against, when
+    /// the planner ran inside a pinned engine entry point
+    /// ([`BatchPlan::build_for_generation`]). `None` for free-standing
+    /// plans built against a bare pool length.
+    generation: Option<u64>,
 }
 
 impl BatchPlan {
@@ -102,6 +108,17 @@ impl BatchPlan {
     /// plan — like everything downstream of it — is a pure deterministic
     /// function of the batch.
     pub fn build(queries: &[SeedQuery], pool_len: u32) -> Self {
+        Self::plan(queries, pool_len, None)
+    }
+
+    /// Like [`BatchPlan::build`], but stamps the plan with the pool
+    /// directory generation the batch pinned — under grow-while-serving,
+    /// the record of *which published pool prefix* answered this batch.
+    pub fn build_for_generation(queries: &[SeedQuery], pool_len: u32, generation: u64) -> Self {
+        Self::plan(queries, pool_len, Some(generation))
+    }
+
+    fn plan(queries: &[SeedQuery], pool_len: u32, generation: Option<u64>) -> Self {
         let mut groups: Vec<PlanGroup> = Vec::new();
         let mut index: BTreeMap<GroupKey, usize> = BTreeMap::new();
         for (i, q) in queries.iter().enumerate() {
@@ -128,7 +145,7 @@ impl BatchPlan {
                 }
             }
         }
-        BatchPlan { groups, queries: queries.len() }
+        BatchPlan { groups, queries: queries.len(), pool_len, generation }
     }
 
     /// The plan's groups, in first-appearance order.
@@ -144,6 +161,17 @@ impl BatchPlan {
     /// Number of queries planned.
     pub fn num_queries(&self) -> usize {
         self.queries
+    }
+
+    /// The pool length the plan resolved default ranges against.
+    pub fn pool_len(&self) -> u32 {
+        self.pool_len
+    }
+
+    /// The pool directory generation the plan was built against, if it
+    /// was built through [`BatchPlan::build_for_generation`].
+    pub fn generation(&self) -> Option<u64> {
+        self.generation
     }
 
     /// Snapshot resolutions the grouping saved: every member beyond the
@@ -471,6 +499,20 @@ mod tests {
         let mut all: Vec<usize> = plan.groups().iter().flat_map(|g| g.members.clone()).collect();
         all.sort_unstable();
         assert_eq!(all, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn plans_record_pool_len_and_generation() {
+        let batch = vec![q(1), q(2).over_range(0..50)];
+        let bare = BatchPlan::build(&batch, 100);
+        assert_eq!(bare.pool_len(), 100);
+        assert_eq!(bare.generation(), None);
+        let pinned = BatchPlan::build_for_generation(&batch, 100, 3);
+        assert_eq!(pinned.generation(), Some(3));
+        // the stamp is metadata only: grouping is identical
+        let keys = |p: &BatchPlan| p.groups().iter().map(|g| g.key).collect::<Vec<_>>();
+        assert_eq!(keys(&bare), keys(&pinned));
+        assert_eq!(bare.builds_saved(), pinned.builds_saved());
     }
 
     #[test]

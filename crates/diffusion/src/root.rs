@@ -100,6 +100,20 @@ impl BenefitTable {
     pub fn is_empty(&self) -> bool {
         self.prefix.is_empty()
     }
+
+    /// FNV-1a checksum over the exact f64 bits of the prefix sums. The
+    /// prefix array determines the benefit vector (and vice versa, up to
+    /// bit identity), so two tables agree iff they were built from
+    /// bit-identical benefits — the content fingerprint the pool store
+    /// records so a persisted benefit-weighted pool refuses to serve
+    /// under a different vector, even one with the same total Γ.
+    pub fn content_checksum(&self) -> u64 {
+        let mut h = sns_graph::Fnv64::new();
+        for &p in &self.prefix {
+            h.write_u64(p.to_bits());
+        }
+        h.finish()
+    }
 }
 
 /// Distribution of RR-set roots.
@@ -149,6 +163,20 @@ impl RootDist {
             RootDist::Uniform => f64::from(graph.num_nodes()),
             RootDist::Weighted(table) => table.total_weight(),
             RootDist::Benefit(table) => table.total_benefit(),
+        }
+    }
+
+    /// A content checksum of the weight/benefit vector behind this
+    /// distribution, or `None` for the parameterless uniform case.
+    /// Recorded in pool-store fingerprints: Γ alone cannot distinguish
+    /// two different vectors with equal mass, this can (up to hash
+    /// collision — it guards against operational mix-ups, not
+    /// adversaries).
+    pub fn content_checksum(&self) -> Option<u64> {
+        match self {
+            RootDist::Uniform => None,
+            RootDist::Weighted(table) => Some(table.content_checksum()),
+            RootDist::Benefit(table) => Some(table.content_checksum()),
         }
     }
 }

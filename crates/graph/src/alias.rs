@@ -125,6 +125,25 @@ impl AliasTable {
     pub fn total_weight(&self) -> f64 {
         self.total
     }
+
+    /// FNV-1a checksum over the table's exact contents (`prob` f64 bits,
+    /// `alias` entries, total-weight bits). Construction is a pure
+    /// deterministic function of the input weights, so two tables built
+    /// from the same weight vector always agree and any content change —
+    /// even one that preserves the total — changes the checksum. Used by
+    /// the pool-store fingerprint to refuse serving a persisted pool
+    /// under a different weight vector.
+    pub fn content_checksum(&self) -> u64 {
+        let mut h = crate::Fnv64::new();
+        for &p in &self.prob {
+            h.write_u64(p.to_bits());
+        }
+        for &a in &self.alias {
+            h.write_u64(u64::from(a));
+        }
+        h.write_u64(self.total.to_bits());
+        h.finish()
+    }
 }
 
 #[cfg(test)]

@@ -40,6 +40,10 @@ pub struct Config {
     /// Files whose `as` casts are sanctioned (the designated checked-
     /// conversion helpers; everything else must route through them).
     pub cast_sanctioned: Vec<String>,
+    /// Files under the lock-free serving contract: no blocking
+    /// `.lock()` / `.read()` / `.write()` acquisition outside
+    /// `#[cfg(test)]` — readers pin the epoch directory instead.
+    pub lock_free_paths: Vec<String>,
     /// Directory names skipped during the walk (test/bench/fixture
     /// trees).
     pub skip_dirs: Vec<String>,
@@ -255,6 +259,7 @@ fn flush(
             cfg.deterministic = take_arr(&mut map, "deterministic").unwrap_or_default();
             cfg.panic_paths = take_arr(&mut map, "panic_paths").unwrap_or_default();
             cfg.cast_sanctioned = take_arr(&mut map, "cast_sanctioned").unwrap_or_default();
+            cfg.lock_free_paths = take_arr(&mut map, "lock_free_paths").unwrap_or_default();
             cfg.skip_dirs = take_arr(&mut map, "skip_dirs").unwrap_or_default();
             if let Some(stray) = map.keys().next() {
                 return err(format!("unknown key {stray:?} in [scope]"));
@@ -306,6 +311,7 @@ mod tests {
                 "src",
             ]
             panic_paths = ["crates/core/src/engine.rs"]
+            lock_free_paths = ["crates/core/src/planner.rs"]
 
             [[allow]]
             rule = "determinism/wall-clock"
@@ -317,6 +323,7 @@ mod tests {
         .unwrap();
         assert_eq!(cfg.deterministic, ["crates/core/src", "src"]);
         assert_eq!(cfg.panic_paths, ["crates/core/src/engine.rs"]);
+        assert_eq!(cfg.lock_free_paths, ["crates/core/src/planner.rs"]);
         assert_eq!(cfg.allows.len(), 1);
         assert_eq!(cfg.allows[0].contains.as_deref(), Some("Instant::now"));
     }

@@ -9,7 +9,7 @@
 //!
 //! * [`lexer`] — a handwritten Rust lexer (the workspace is offline and
 //!   the linter takes zero dependencies — no `syn`).
-//! * [`rules`] — the three rule families over the token stream.
+//! * [`rules`] — the four rule families over the token stream.
 //! * [`config`] — `lint-allow.toml`: rule scope plus the exemption list,
 //!   where every entry must carry a non-empty `reason`.
 //!
@@ -101,6 +101,7 @@ pub fn run(root: &Path, cfg: &Config) -> io::Result<Report> {
             lines: &lines,
             panic_path: path_in_scope(&rel, &cfg.panic_paths),
             cast_sanctioned: path_in_scope(&rel, &cfg.cast_sanctioned),
+            lock_free_path: path_in_scope(&rel, &cfg.lock_free_paths),
         };
         let toks = lexer::lex(&source);
         for finding in rules::lint_tokens(&toks, &ctx) {
@@ -191,6 +192,7 @@ mod tests {
             lines: &lines,
             panic_path,
             cast_sanctioned: false,
+            lock_free_path: false,
         };
         rules::lint_tokens(&lexer::lex(src), &ctx)
     }

@@ -1,4 +1,4 @@
-//! The three rule families of the determinism & safety contract.
+//! The four rule families of the determinism & safety contract.
 //!
 //! * **`determinism/*`** — no wall-clock reads, no hash-order iteration,
 //!   no ambient randomness, no environment-dependent values on
@@ -9,6 +9,10 @@
 //!   checked-conversion helpers.
 //! * **`panics/*`** — no `unwrap`/`expect`/`panic!`-family macros and no
 //!   unchecked non-literal indexing in the serving-path files.
+//! * **`locks/blocking`** — no blocking `.lock()` / `.read()` /
+//!   `.write()` acquisition in the lock-free serving files: readers pin
+//!   the epoch directory; the single-writer mutex sites live elsewhere
+//!   (or are allowlisted with their single-writer proof).
 //!
 //! All rules are *lexical taint heuristics* over the token stream from
 //! [`crate::lexer`] plus the `#[cfg(test)]` outline computed here — a
@@ -290,6 +294,9 @@ pub struct FileContext<'a> {
     /// Whether `as` casts in this file are sanctioned (checked-conversion
     /// helper modules).
     pub cast_sanctioned: bool,
+    /// Whether the lock-free serving contract (no blocking lock
+    /// acquisition) applies to this file.
+    pub lock_free_path: bool,
 }
 
 impl FileContext<'_> {
@@ -318,6 +325,9 @@ pub fn lint_tokens(toks: &[Tok], ctx: &FileContext<'_>) -> Vec<Finding> {
     }
     if ctx.panic_path {
         panics(toks, &spans, ctx, &mut findings);
+    }
+    if ctx.lock_free_path {
+        locks(toks, &spans, ctx, &mut findings);
     }
     findings.sort_by_key(|f| (f.line, f.col));
     findings
@@ -507,6 +517,41 @@ fn casts(
                 ));
             }
             _ => {}
+        }
+    }
+}
+
+/// `locks/blocking`: blocking lock acquisition in the lock-free serving
+/// files. Matches the nullary acquisition calls of the std primitives —
+/// `.lock()`, `.read()`, `.write()` with an empty argument list — so
+/// `Mutex::lock`, `RwLock::read`, and `RwLock::write` all fire while
+/// `io::Read::read(&mut buf)`-style calls (which take arguments) and the
+/// non-blocking `try_lock` family do not. Growth never blocks a query:
+/// readers pin the epoch directory; the sanctioned single-writer mutex
+/// sites are allowlisted with their single-writer proof.
+fn locks(toks: &[Tok], spans: &[(usize, usize)], ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    for i in 0..toks.len() {
+        if in_spans(spans, i) {
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind == TokKind::Ident
+            && matches!(t.text.as_str(), "lock" | "read" | "write")
+            && i > 0
+            && toks[i - 1].is_punct('.')
+            && matches!(toks.get(i + 1), Some(p) if p.is_punct('('))
+            && matches!(toks.get(i + 2), Some(p) if p.is_punct(')'))
+        {
+            out.push(ctx.finding(
+                "locks/blocking",
+                t,
+                format!(
+                    ".{}() blocks on a lock-free serving path — readers must pin the epoch \
+                     directory instead; a writer-side mutex needs an allowlist entry with its \
+                     single-writer proof",
+                    t.text
+                ),
+            ));
         }
     }
 }

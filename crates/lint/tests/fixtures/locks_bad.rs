@@ -1,0 +1,10 @@
+//! Fixture: every blocking acquisition the locks/blocking rule must
+//! flag (when linted as a lock-free serving file). Line numbers are
+//! asserted exactly by `tests/linter.rs`.
+
+pub fn serving(m: &std::sync::Mutex<u32>, rw: &std::sync::RwLock<u32>) -> u32 {
+    let a = *m.lock().unwrap_or_else(std::sync::PoisonError::into_inner); // line 6
+    let b = *rw.read().unwrap_or_else(std::sync::PoisonError::into_inner); // line 7
+    let c = *rw.write().unwrap_or_else(std::sync::PoisonError::into_inner); // line 8
+    a + b + c
+}

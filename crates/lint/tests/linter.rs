@@ -7,9 +7,15 @@
 use sns_lint::rules::{lint_tokens, FileContext};
 use sns_lint::{lexer, Finding};
 
-fn lint_fixture(source: &str, panic_path: bool) -> Vec<Finding> {
+fn lint_fixture(source: &str, panic_path: bool, lock_free_path: bool) -> Vec<Finding> {
     let lines: Vec<&str> = source.lines().collect();
-    let ctx = FileContext { path: "fixture.rs", lines: &lines, panic_path, cast_sanctioned: false };
+    let ctx = FileContext {
+        path: "fixture.rs",
+        lines: &lines,
+        panic_path,
+        cast_sanctioned: false,
+        lock_free_path,
+    };
     lint_tokens(&lexer::lex(source), &ctx)
 }
 
@@ -19,7 +25,7 @@ fn rule_lines(findings: &[Finding]) -> Vec<(&str, u32)> {
 
 #[test]
 fn determinism_bad_fires_every_rule() {
-    let findings = lint_fixture(include_str!("fixtures/determinism_bad.rs"), false);
+    let findings = lint_fixture(include_str!("fixtures/determinism_bad.rs"), false, false);
     assert_eq!(
         rule_lines(&findings),
         vec![
@@ -37,13 +43,13 @@ fn determinism_bad_fires_every_rule() {
 
 #[test]
 fn determinism_good_is_silent() {
-    let findings = lint_fixture(include_str!("fixtures/determinism_good.rs"), false);
+    let findings = lint_fixture(include_str!("fixtures/determinism_good.rs"), false, false);
     assert!(findings.is_empty(), "false positives: {findings:#?}");
 }
 
 #[test]
 fn casts_bad_fires_every_pattern() {
-    let findings = lint_fixture(include_str!("fixtures/casts_bad.rs"), false);
+    let findings = lint_fixture(include_str!("fixtures/casts_bad.rs"), false, false);
     assert_eq!(
         rule_lines(&findings),
         vec![("casts/lossy", 5), ("casts/lossy", 6), ("casts/lossy", 7), ("casts/lossy", 9)],
@@ -53,13 +59,13 @@ fn casts_bad_fires_every_pattern() {
 
 #[test]
 fn casts_good_is_silent() {
-    let findings = lint_fixture(include_str!("fixtures/casts_good.rs"), false);
+    let findings = lint_fixture(include_str!("fixtures/casts_good.rs"), false, false);
     assert!(findings.is_empty(), "false positives: {findings:#?}");
 }
 
 #[test]
 fn panics_bad_fires_every_rule_on_serving_files() {
-    let findings = lint_fixture(include_str!("fixtures/panics_bad.rs"), true);
+    let findings = lint_fixture(include_str!("fixtures/panics_bad.rs"), true, false);
     assert_eq!(
         rule_lines(&findings),
         vec![
@@ -75,15 +81,39 @@ fn panics_bad_fires_every_rule_on_serving_files() {
 
 #[test]
 fn panics_good_is_silent_on_serving_files() {
-    let findings = lint_fixture(include_str!("fixtures/panics_good.rs"), true);
+    let findings = lint_fixture(include_str!("fixtures/panics_good.rs"), true, false);
     assert!(findings.is_empty(), "false positives: {findings:#?}");
 }
 
 #[test]
 fn panic_rules_only_apply_to_serving_files() {
     // The same source linted as a non-serving file keeps unwrap/indexing.
-    let findings = lint_fixture(include_str!("fixtures/panics_bad.rs"), false);
+    let findings = lint_fixture(include_str!("fixtures/panics_bad.rs"), false, false);
     assert!(findings.is_empty(), "panic rules leaked outside serving files: {findings:#?}");
+}
+
+#[test]
+fn locks_bad_fires_on_every_blocking_acquisition() {
+    let findings = lint_fixture(include_str!("fixtures/locks_bad.rs"), false, true);
+    assert_eq!(
+        rule_lines(&findings),
+        vec![("locks/blocking", 6), ("locks/blocking", 7), ("locks/blocking", 8)],
+        "findings: {findings:#?}"
+    );
+}
+
+#[test]
+fn locks_good_is_silent_on_lock_free_files() {
+    let findings = lint_fixture(include_str!("fixtures/locks_good.rs"), false, true);
+    assert!(findings.is_empty(), "false positives: {findings:#?}");
+}
+
+#[test]
+fn lock_rules_only_apply_to_lock_free_files() {
+    // The same source linted outside the lock-free scope keeps its
+    // writer-side mutex unflagged.
+    let findings = lint_fixture(include_str!("fixtures/locks_bad.rs"), false, false);
+    assert!(findings.is_empty(), "lock rules leaked outside lock-free files: {findings:#?}");
 }
 
 #[test]

@@ -47,6 +47,36 @@ use sns_graph::NodeId;
 
 use crate::index::{SetIds, TwoTierIndex};
 
+/// What a seal actually did. [`RrCollection::seal`] on a fully-sealed
+/// pool is a silent success by design (sealing is idempotent), but a
+/// grow-while-serving loop needs to know whether there is a *new* epoch
+/// to freeze and publish — this makes the no-op explicit instead of
+/// forcing callers to diff [`RrCollection::epoch_boundaries`] around the
+/// call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[must_use = "a grow loop must distinguish 'nothing pending' from 'epoch published'"]
+pub enum SealOutcome {
+    /// Every pooled set was already in the sealed tier: no rebuild ran,
+    /// no epoch boundary was added.
+    AlreadySealed,
+    /// The pending sets were compacted into one new sealed epoch
+    /// covering this id range (its end is the pool length).
+    EpochSealed {
+        /// The id range of the newly sealed epoch.
+        epoch: Range<u32>,
+    },
+}
+
+impl SealOutcome {
+    /// The newly sealed epoch's id range, if one was published.
+    pub fn epoch(&self) -> Option<Range<u32>> {
+        match self {
+            SealOutcome::AlreadySealed => None,
+            SealOutcome::EpochSealed { epoch } => Some(epoch.clone()),
+        }
+    }
+}
+
 /// A growing pool of RR sets (see the module docs for the layout).
 #[derive(Debug, Clone)]
 pub struct RrCollection {
@@ -232,7 +262,7 @@ impl RrCollection {
         self.data.extend_from_slice(data);
         self.offsets.extend(set_ends.iter().map(|&e| base + e));
         self.total_edges_examined += edges_delta;
-        self.seal_parallel(threads);
+        let _ = self.seal_parallel(threads);
     }
 
     /// Test-only drift hooks for the save-time metadata guard: desync the
@@ -258,21 +288,29 @@ impl RrCollection {
 
     /// Forces an epoch seal: compacts the pending index tier into the
     /// sealed CSR tier regardless of the threshold. Queries are
-    /// unaffected; memory drops to the flat-CSR floor.
-    pub fn seal(&mut self) {
-        self.seal_parallel(1);
+    /// unaffected; memory drops to the flat-CSR floor. Returns whether a
+    /// new epoch was actually published — see [`SealOutcome`].
+    pub fn seal(&mut self) -> SealOutcome {
+        self.seal_parallel(1)
     }
 
     /// [`RrCollection::seal`] with a worker-thread budget for the
     /// counting-sort rebuild. The resulting index is bit-identical for
-    /// every `threads` value. Sealing an already fully sealed pool is a
-    /// no-op (no rebuild, no new epoch).
-    pub fn seal_parallel(&mut self, threads: usize) {
-        if self.index.sealed_sets() as usize == self.len() {
-            return;
+    /// every `threads` value. Sealing an already fully sealed pool is an
+    /// explicit no-op (no rebuild, no new epoch) reported as
+    /// [`SealOutcome::AlreadySealed`], so a grow loop can distinguish
+    /// "nothing pending" from "epoch published" without re-reading
+    /// [`RrCollection::epoch_boundaries`].
+    pub fn seal_parallel(&mut self, threads: usize) -> SealOutcome {
+        let sealed = self.index.sealed_sets() as usize;
+        if sealed == self.len() {
+            return SealOutcome::AlreadySealed;
         }
         self.index.compact(&self.data, &self.offsets, threads);
         self.sync_epoch_edges();
+        SealOutcome::EpochSealed {
+            epoch: crate::narrow::set_count(sealed)..crate::narrow::set_count(self.len()),
+        }
     }
 
     /// Grows the pool with samples `from_index .. from_index + count` from
@@ -449,7 +487,7 @@ mod tests {
         let mut rc = RrCollection::new(3);
         rc.push(&[0], meta(0)); // id 0
         rc.push(&[0, 1], meta(0)); // id 1
-        rc.seal(); // ids 0..2 now sealed
+        let _ = rc.seal(); // ids 0..2 now sealed
         rc.push(&[1], meta(1)); // id 2 (pending)
         rc.push(&[0, 2], meta(0)); // id 3 (pending)
         assert_eq!(rc.sealed_sets(), 2);
@@ -498,7 +536,7 @@ mod tests {
             rc.push(&[(i % 4) as u32, ((i + 1) % 4) as u32], meta(0));
         }
         let before = rc.index_memory_bytes();
-        rc.seal();
+        let _ = rc.seal();
         assert_eq!(rc.pending_sets(), 0);
         assert!(
             rc.index_memory_bytes() <= before,
@@ -515,19 +553,19 @@ mod tests {
         assert!(rc.epoch_boundaries().is_empty());
         rc.push(&[0, 1], meta(0));
         rc.push(&[1, 2], meta(1));
-        rc.seal();
+        let _ = rc.seal();
         assert_eq!(rc.epoch_boundaries(), &[2]);
         assert_eq!(rc.epochs().collect::<Vec<_>>(), vec![0..2]);
         // sealing a fully sealed pool is a no-op: no rebuild, no epoch
         let compactions = rc.compactions();
-        rc.seal();
+        let _ = rc.seal();
         assert_eq!(rc.compactions(), compactions);
         assert_eq!(rc.epoch_boundaries(), &[2]);
         // growth + seal freezes exactly one new epoch; old bounds move
         // nowhere (the append-only contract per-epoch snapshots rely on)
         rc.push(&[2, 3], meta(2));
         rc.push(&[3], meta(3));
-        rc.seal();
+        let _ = rc.seal();
         assert_eq!(rc.epoch_boundaries(), &[2, 4]);
         assert_eq!(rc.epochs().collect::<Vec<_>>(), vec![0..2, 2..4]);
         // pending sets past the last boundary belong to no epoch yet

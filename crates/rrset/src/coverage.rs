@@ -630,7 +630,7 @@ mod tests {
         // goes through the arena copy — both must agree across a seal
         // boundary.
         let mut rc = pool(&[&[0, 1], &[0, 2]], 4);
-        rc.seal();
+        let _ = rc.seal();
         rc.push(&[0, 3], m());
         rc.push(&[3], m());
         assert!(rc.pending_sets() > 0);

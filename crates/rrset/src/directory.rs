@@ -1,0 +1,311 @@
+//! Lock-free single-writer publication of sealed epoch sets — the
+//! concurrency backbone of grow-while-serving.
+//!
+//! # Why a directory
+//!
+//! A sealed [`RrCollection`](crate::RrCollection) tier is immutable:
+//! growth only ever *appends* a new epoch and re-seals. Readers therefore
+//! never need to observe a pool mid-mutation — they need a consistent
+//! **snapshot of the epoch set**, i.e. "the pool as of some sealed
+//! prefix". [`EpochDirectory`] provides exactly that: a single writer
+//! publishes fully-sealed pool generations, and any number of readers
+//! *pin* a generation with lock-free atomic loads. A pinned generation is
+//! an `Arc`, so it stays valid for as long as the reader holds it, no
+//! matter how many newer generations are published meanwhile.
+//!
+//! # How it is lock-free (and `unsafe`-free)
+//!
+//! The directory is a hand-rolled minimal arc-swap built from `std`
+//! primitives only:
+//!
+//! * an `AtomicU64` **generation counter** — the publish point;
+//! * an append-only chain of **slot chunks** (geometrically growing, so
+//!   locating generation `g` walks `O(log g)` links), each slot a
+//!   `OnceLock<Weak<T>>` written exactly once by the writer;
+//! * the **writer handle** retains the strong `Arc` of the *current*
+//!   generation, so the latest slot always upgrades.
+//!
+//! A reader pins by loading the generation (`Acquire`), walking to its
+//! slot, and upgrading the `Weak`. The upgrade can only fail for a
+//! *superseded* generation whose last strong reference is gone — in
+//! which case a newer generation exists and the retry loop observes it
+//! on the next load. That retry is bounded by writer progress, never by
+//! another reader: the algorithm is lock-free, and the hot path of a
+//! steady-state pin is one atomic load, one chunk walk, and one
+//! refcount increment. Reclamation is plain `Arc` semantics: when the
+//! writer publishes generation `g+1` it drops its strong reference to
+//! `g`, and `g`'s memory is freed the moment the last pinned reader
+//! lets go. The only permanent residue is one `Weak` per generation
+//! (~16 bytes) — the price of never blocking a reader.
+//!
+//! # Single-writer invariant
+//!
+//! [`DirectoryWriter`] is the unique publish capability: it is not
+//! `Clone`, and [`DirectoryWriter::publish`] takes `&mut self`, so
+//! exclusive ownership of the handle *is* the writer lock — no mutex
+//! exists in this module at all. Higher layers (e.g. `sns-core`'s
+//! `Grower`) serialize their writer state behind their own lock; the
+//! directory itself never blocks anyone.
+//!
+//! Readers must only outlive the writer handle together with the whole
+//! directory: dropping the `DirectoryWriter` drops the last
+//! writer-retained strong reference, after which a generation survives
+//! only through reader pins. (The `sns-core` engine owns both halves,
+//! so this cannot be observed through its API.)
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, Weak};
+
+/// Capacity of the first slot chunk; each subsequent chunk doubles, so
+/// generation `g` is found in `O(log g)` link hops.
+const FIRST_CHUNK: usize = 8;
+
+/// One append-only block of generation slots. Chunks are created by the
+/// writer and linked forward exactly once; they are never reclaimed
+/// until the directory drops, so readers can traverse without any
+/// lifetime ceremony.
+#[derive(Debug)]
+struct Chunk<T> {
+    /// Generation number of `slots[0]`.
+    base: u64,
+    slots: Box<[OnceLock<Weak<T>>]>,
+    next: OnceLock<Box<Chunk<T>>>,
+}
+
+impl<T> Chunk<T> {
+    fn new(base: u64, capacity: usize) -> Self {
+        Chunk {
+            base,
+            slots: (0..capacity).map(|_| OnceLock::new()).collect(),
+            next: OnceLock::new(),
+        }
+    }
+
+    fn end(&self) -> u64 {
+        self.base + self.slots.len() as u64
+    }
+}
+
+/// The shared read front of a generation directory: readers pin
+/// published values with lock-free atomic loads (see the module docs).
+/// Create with [`EpochDirectory::new`], which also returns the unique
+/// [`DirectoryWriter`].
+///
+/// The canonical instantiation is `EpochDirectory<RrCollection>` — the
+/// epoch directory proper, publishing fully-sealed pool generations —
+/// but the primitive is generic and `sns-core` reuses it for its
+/// copy-on-write snapshot-cache map.
+#[derive(Debug)]
+pub struct EpochDirectory<T> {
+    /// The latest published generation. Stored with `Release` by the
+    /// writer after the slot is filled; loaded with `Acquire` by
+    /// readers, which makes the slot (and everything inside the
+    /// published value) visible.
+    generation: AtomicU64,
+    head: Chunk<T>,
+}
+
+impl<T> EpochDirectory<T> {
+    /// Publishes `initial` as generation 0 and returns the shared read
+    /// front plus the unique writer handle.
+    pub fn new(initial: Arc<T>) -> (Arc<Self>, DirectoryWriter<T>) {
+        let head = Chunk::new(0, FIRST_CHUNK);
+        let _ = head.slots[0].set(Arc::downgrade(&initial));
+        let dir = Arc::new(EpochDirectory { generation: AtomicU64::new(0), head });
+        let writer = DirectoryWriter { directory: Arc::clone(&dir), current: initial };
+        (dir, writer)
+    }
+
+    /// The latest published generation number. One atomic load.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Pins the latest published generation: `(generation, value)`. The
+    /// returned `Arc` keeps that generation alive for as long as the
+    /// caller holds it — later publishes never invalidate a pin.
+    ///
+    /// Lock-free: one `Acquire` load, an `O(log generation)` chunk walk
+    /// and a `Weak::upgrade`. The upgrade only fails for a generation
+    /// already superseded *and* fully released, so the retry loop is
+    /// bounded by writer progress (see the module docs).
+    pub fn pin(&self) -> (u64, Arc<T>) {
+        loop {
+            let generation = self.generation.load(Ordering::Acquire);
+            if let Some(value) = self.pin_generation(generation) {
+                return (generation, value);
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Pins a *specific* generation, if it is still alive: published,
+    /// and either the latest or still held by some reader. Superseded
+    /// generations with no remaining pins have been reclaimed and
+    /// return `None`.
+    pub fn pin_generation(&self, generation: u64) -> Option<Arc<T>> {
+        self.slot(generation)?.get()?.upgrade()
+    }
+
+    /// The slot holding `generation`'s weak reference, if that chunk
+    /// exists yet.
+    fn slot(&self, generation: u64) -> Option<&OnceLock<Weak<T>>> {
+        let mut chunk = &self.head;
+        while generation >= chunk.end() {
+            chunk = chunk.next.get()?;
+        }
+        chunk.slots.get((generation - chunk.base) as usize)
+    }
+}
+
+/// The unique publish capability of an [`EpochDirectory`]. Not `Clone`;
+/// [`DirectoryWriter::publish`] takes `&mut self` — exclusive ownership
+/// of this handle is the single-writer invariant, enforced by the type
+/// system instead of a lock.
+#[derive(Debug)]
+pub struct DirectoryWriter<T> {
+    directory: Arc<EpochDirectory<T>>,
+    /// Strong reference to the current generation: guarantees the
+    /// latest slot always upgrades, and doubles as the writer's own
+    /// zero-cost view of what it last published.
+    current: Arc<T>,
+}
+
+impl<T> DirectoryWriter<T> {
+    /// Publishes `value` as the next generation and returns its number.
+    ///
+    /// Ordering: the slot is filled *before* the generation counter's
+    /// `Release` store, so a reader that observes the new number always
+    /// finds the slot; the superseded generation's writer reference is
+    /// dropped *after* the store, so a reader whose upgrade fails is
+    /// guaranteed to observe the newer generation on retry.
+    pub fn publish(&mut self, value: Arc<T>) -> u64 {
+        let directory = &self.directory;
+        let generation = directory.generation.load(Ordering::Relaxed) + 1;
+        let slot = Self::ensure_slot(&directory.head, generation);
+        let _ = slot.set(Arc::downgrade(&value));
+        let superseded = std::mem::replace(&mut self.current, value);
+        directory.generation.store(generation, Ordering::Release);
+        drop(superseded);
+        generation
+    }
+
+    /// The value this writer last published (the current generation),
+    /// without touching the reader path.
+    pub fn current(&self) -> &Arc<T> {
+        &self.current
+    }
+
+    /// A clone of the shared read front, for handing to readers.
+    pub fn directory(&self) -> Arc<EpochDirectory<T>> {
+        Arc::clone(&self.directory)
+    }
+
+    /// Walks (extending the chunk chain as needed) to the slot for
+    /// `generation`. Only the writer appends chunks, and `publish`
+    /// requires `&mut self`, so the `OnceLock` set below never races
+    /// another set — it exists to let readers traverse concurrently.
+    fn ensure_slot(head: &Chunk<T>, generation: u64) -> &OnceLock<Weak<T>> {
+        let mut chunk = head;
+        while generation >= chunk.end() {
+            if chunk.next.get().is_none() {
+                let grown = Chunk::new(chunk.end(), chunk.slots.len() * 2);
+                let _ = chunk.next.set(Box::new(grown));
+            }
+            // The chunk was just ensured; a `None` here is unreachable,
+            // but the writer path must not panic on a broken invariant —
+            // fall back to the head slot 0 (never reached in practice).
+            match chunk.next.get() {
+                Some(next) => chunk = next,
+                None => break,
+            }
+        }
+        chunk.slots.get((generation.saturating_sub(chunk.base)) as usize).unwrap_or(&chunk.slots[0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn pin_returns_the_published_generation() {
+        let (dir, mut writer) = EpochDirectory::new(Arc::new(10u64));
+        assert_eq!(dir.generation(), 0);
+        assert_eq!(dir.pin(), (0, Arc::new(10)));
+        for v in 11..=40u64 {
+            let generation = writer.publish(Arc::new(v));
+            assert_eq!(generation, v - 10);
+            let (g, value) = dir.pin();
+            assert_eq!((g, *value), (generation, v));
+        }
+        assert_eq!(dir.generation(), 30);
+        assert_eq!(**writer.current(), 40);
+    }
+
+    #[test]
+    fn pins_survive_later_publishes_and_superseded_memory_is_reclaimed() {
+        let (dir, mut writer) = EpochDirectory::new(Arc::new(0u64));
+        let (g0, v0) = dir.pin();
+        writer.publish(Arc::new(1));
+        let (g1, v1) = dir.pin();
+        writer.publish(Arc::new(2));
+        // Both old pins still read their generation's value.
+        assert_eq!((g0, *v0), (0, 0));
+        assert_eq!((g1, *v1), (1, 1));
+        // Still re-pinnable while a reader holds them...
+        assert_eq!(dir.pin_generation(0).as_deref(), Some(&0));
+        drop(v0);
+        // ...but reclaimed (weak dead) once the last pin drops.
+        assert!(dir.pin_generation(0).is_none(), "superseded unpinned generation must reclaim");
+        assert_eq!(dir.pin_generation(1).as_deref(), Some(&1));
+        assert_eq!(dir.pin_generation(2).as_deref(), Some(&2));
+        // Unpublished generations simply do not resolve.
+        assert!(dir.pin_generation(3).is_none());
+        assert!(dir.pin_generation(1_000_000).is_none());
+    }
+
+    #[test]
+    fn chunk_chain_grows_past_many_generations() {
+        let (dir, mut writer) = EpochDirectory::new(Arc::new(0u64));
+        for v in 1..=1000u64 {
+            writer.publish(Arc::new(v));
+        }
+        assert_eq!(dir.pin(), (1000, Arc::new(1000)));
+        // The latest is always pinned by the writer; a middle one is gone.
+        assert!(dir.pin_generation(500).is_none());
+        assert_eq!(dir.pin_generation(1000).as_deref(), Some(&1000));
+    }
+
+    #[test]
+    fn concurrent_pins_always_observe_a_published_value() {
+        // Readers hammer `pin` while the writer publishes 0..=N in
+        // order. Every pin must return a (generation, value) pair that
+        // was genuinely published — value == generation — and per-reader
+        // observed generations must be monotone (the directory never
+        // goes backwards).
+        let (dir, mut writer) = EpochDirectory::new(Arc::new(0u64));
+        let done = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let dir = Arc::clone(&dir);
+                let done = &done;
+                scope.spawn(move || {
+                    let mut last = 0u64;
+                    while !done.load(Ordering::Relaxed) {
+                        let (generation, value) = dir.pin();
+                        assert_eq!(*value, generation, "pin must be a published pair");
+                        assert!(generation >= last, "generations must be monotone");
+                        last = generation;
+                    }
+                });
+            }
+            for v in 1..=2000u64 {
+                writer.publish(Arc::new(v));
+            }
+            done.store(true, Ordering::Relaxed);
+        });
+        assert_eq!(dir.pin(), (2000, Arc::new(2000)));
+    }
+}

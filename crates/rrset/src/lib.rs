@@ -39,6 +39,7 @@ mod bucket;
 mod budgeted;
 mod collection;
 mod coverage;
+pub mod directory;
 mod greedy;
 mod index;
 pub mod narrow;
@@ -47,8 +48,9 @@ pub mod store;
 
 pub use bucket::max_coverage_bucket;
 pub use budgeted::{BudgetedCoverageResult, NodeCosts};
-pub use collection::RrCollection;
+pub use collection::{RrCollection, SealOutcome};
 pub use coverage::{max_coverage_with, CoverageView, GreedyScratch, SeedConstraints};
+pub use directory::{DirectoryWriter, EpochDirectory};
 pub use greedy::{
     max_coverage, max_coverage_naive, max_coverage_pre_refactor, max_coverage_range, CoverageResult,
 };

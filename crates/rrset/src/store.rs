@@ -79,7 +79,7 @@
 //! # use sns_diffusion::RrMeta;
 //! # pool.push(&[0, 1], RrMeta { root: 0, edges_examined: 2 });
 //! # pool.push(&[2], RrMeta { root: 2, edges_examined: 1 });
-//! pool.seal();
+//! let _ = pool.seal();
 //!
 //! let fp = StoreFingerprint {
 //!     graph_hash: 0xfeed,
@@ -264,8 +264,14 @@ pub struct StoreFingerprint {
     pub gamma: f64,
     /// Free-form provenance — stopping-rule metadata from a solver's
     /// `RunResult`, root-distribution kind, and anything else worth
-    /// carrying. **Not** part of the sampling identity: two stores of
-    /// the same samples with different notes still match.
+    /// carrying. Mostly **not** part of the sampling identity (two
+    /// stores of the same samples with different notes still match),
+    /// with two exceptions checked by
+    /// [`StoreFingerprint::matches_sampling`]: the `"roots"` kind and
+    /// the `"roots_checksum"` content hash of the weight/benefit
+    /// vector. Γ alone cannot tell two vectors with equal mass apart;
+    /// the checksum makes reloading a weighted pool under a different
+    /// vector fail loudly instead of via silent Γ-compatible drift.
     pub meta: Vec<(String, String)>,
 }
 
@@ -281,9 +287,10 @@ impl PartialEq for StoreFingerprint {
 }
 
 impl StoreFingerprint {
-    /// Compares the sampling-identity fields (everything but `meta`)
-    /// against `expected`, reporting the first disagreement as
-    /// [`StoreError::FingerprintMismatch`].
+    /// Compares the sampling-identity fields — the scalar identity plus
+    /// the `"roots"` / `"roots_checksum"` meta keys (other meta entries
+    /// are free-form provenance) — against `expected`, reporting the
+    /// first disagreement as [`StoreError::FingerprintMismatch`].
     pub fn matches_sampling(&self, expected: &StoreFingerprint) -> Result<(), StoreError> {
         let fail = |field: &str, found: String, want: String| {
             Err(StoreError::FingerprintMismatch {
@@ -308,6 +315,20 @@ impl StoreFingerprint {
         }
         if self.gamma.to_bits() != expected.gamma.to_bits() {
             return fail("gamma", self.gamma.to_string(), expected.gamma.to_string());
+        }
+        // Root-distribution identity rides in `meta`: the "roots" kind and
+        // the "roots_checksum" content hash of the weight/benefit vector.
+        // Present-vs-absent counts as a mismatch — an old store without a
+        // checksum cannot prove it was sampled under the caller's vector.
+        let meta_value = |fp: &StoreFingerprint, key: &str| -> Option<String> {
+            fp.meta.iter().find(|(k, _)| k == key).map(|(_, v)| v.clone())
+        };
+        for key in ["roots", "roots_checksum"] {
+            let (found, want) = (meta_value(self, key), meta_value(expected, key));
+            if found != want {
+                let show = |v: Option<String>| v.unwrap_or_else(|| "<absent>".to_string());
+                return fail(key, show(found), show(want));
+            }
         }
         Ok(())
     }
@@ -1045,7 +1066,7 @@ mod tests {
                 let b = ((e * 7 + i * 3) % 16) as NodeId;
                 rc.push(&[a, b, (a + b) % 16], meta(a));
             }
-            rc.seal();
+            let _ = rc.seal();
         }
         rc
     }
@@ -1100,7 +1121,7 @@ mod tests {
         for i in 0..30 {
             rc.push(&[(i % 16) as NodeId], meta(0));
         }
-        rc.seal();
+        let _ = rc.seal();
         let stats = store.save(&rc, &fp()).unwrap();
         assert_eq!(stats.epochs_reused, 2);
         assert_eq!(stats.epochs_written, 1);
@@ -1108,6 +1129,41 @@ mod tests {
         assert_eq!(loaded.arena(), rc.arena());
         assert_eq!(loaded.epoch_boundaries(), rc.epoch_boundaries());
         cleanup(&store);
+    }
+
+    #[test]
+    fn roots_meta_keys_are_sampling_identity() {
+        let base = fp();
+        let mut with_ck = base.clone();
+        with_ck.meta.push(("roots".into(), "benefit-weighted".into()));
+        with_ck.meta.push(("roots_checksum".into(), "0x00000000deadbeef".into()));
+        with_ck.matches_sampling(&with_ck.clone()).unwrap();
+
+        // A different vector checksum under identical scalars (same Γ!)
+        // must fail loudly, naming the key.
+        let mut other = with_ck.clone();
+        other.meta.retain(|(k, _)| k != "roots_checksum");
+        other.meta.push(("roots_checksum".into(), "0x00000000cafebabe".into()));
+        match with_ck.matches_sampling(&other) {
+            Err(StoreError::FingerprintMismatch { detail }) => {
+                assert!(detail.contains("roots_checksum"), "{detail}")
+            }
+            outcome => panic!("expected FingerprintMismatch, got {outcome:?}"),
+        }
+
+        // Absent-vs-present is a mismatch too: a store without a checksum
+        // cannot prove it was sampled under the caller's vector.
+        match base.matches_sampling(&with_ck) {
+            Err(StoreError::FingerprintMismatch { detail }) => {
+                assert!(detail.contains("<absent>"), "{detail}")
+            }
+            outcome => panic!("expected FingerprintMismatch, got {outcome:?}"),
+        }
+
+        // Free-form provenance keys stay outside the sampling identity.
+        let mut noted = with_ck.clone();
+        noted.meta.push(("note".into(), "re-baked overnight".into()));
+        noted.matches_sampling(&with_ck).unwrap();
     }
 
     #[test]

@@ -215,7 +215,7 @@ proptest! {
             // seal with probability 1/8 → interleavings cover pools that
             // are fully sealed, fully pending, and everything between
             if seal_die == 0 {
-                rc.seal();
+                let _ = rc.seal();
             }
         }
         let total = sets.len() as u32;

@@ -106,7 +106,7 @@ fn main() {
 
     // 4. The contract the engine keeps: answers are exactly what direct
     //    Max-Coverage over the same (grown) pool would produce.
-    let direct = stop_and_stare::rrset::max_coverage(engine.pool(), 25);
+    let direct = stop_and_stare::rrset::max_coverage(&engine.pool(), 25);
     let served = engine.answer(&SeedQuery::top_k(25)).expect("valid query");
     assert_eq!(served.seeds, direct.seeds, "engine == direct greedy");
     println!("\nverified: engine answers are bit-identical to direct max-coverage");

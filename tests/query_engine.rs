@@ -37,6 +37,7 @@ fn mixed_batch(pool_len: u32, weights: &TargetWeights) -> Vec<SeedQuery> {
 fn every_batched_answer_is_bit_identical_to_direct_selection() {
     let engine = fixture_engine(1);
     let pool = engine.pool();
+    let pool = &*pool;
     let pool_len = pool.len() as u32;
     let weights = {
         let mut w = vec![0.0f64; pool.num_nodes() as usize];
@@ -136,13 +137,13 @@ fn epoch_merged_answers_survive_repeated_growth() {
         assert_eq!(engine.pool().epoch_boundaries().len(), (step + 1) as usize);
         // merged full-range answer == direct greedy on the same state
         let merged = engine.answer(&SeedQuery::top_k(6)).unwrap();
-        let direct = max_coverage_range(engine.pool(), 6, 0..len);
+        let direct = max_coverage_range(&engine.pool(), 6, 0..len);
         assert_eq!(merged.seeds, direct.seeds, "step {step}");
         assert_eq!(merged.covered, direct.covered as f64);
         // unaligned range spanning several epochs, also bit-identical
         let odd = 700..len - 300;
         let ranged = engine.answer(&SeedQuery::top_k(5).over_range(odd.clone())).unwrap();
-        assert_eq!(ranged.seeds, max_coverage_range(engine.pool(), 5, odd).seeds);
+        assert_eq!(ranged.seeds, max_coverage_range(&engine.pool(), 5, odd).seeds);
     }
     // per-epoch snapshots frozen exactly once each: 3 growth epochs (the
     // first epoch's snapshot came from the pre-growth direct query)
